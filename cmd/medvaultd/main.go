@@ -1,0 +1,64 @@
+// Command medvaultd serves a durable MedVault directory over HTTP/JSON.
+//
+// Usage:
+//
+//	medvaultd -dir DIR -key HEX [-addr :8600] [-tls-cert crt -tls-key key]
+//
+// The master key may also come from $MEDVAULT_KEY. Principals are managed
+// with 'medvault grant' (the server reads principals.conf at startup).
+// With -tls-cert/-tls-key the server speaks HTTPS — the paper requires
+// encryption on "the data pathways leading to and out", not just at rest.
+// See internal/httpapi for the route list.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"medvault/internal/httpapi"
+	"medvault/internal/vaultcfg"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "vault directory (required)")
+		key     = flag.String("key", os.Getenv("MEDVAULT_KEY"), "master key, 64 hex chars (or $MEDVAULT_KEY)")
+		addr    = flag.String("addr", ":8600", "listen address")
+		name    = flag.String("name", "medvaultd", "system name recorded in custody chains")
+		tlsCert = flag.String("tls-cert", "", "TLS certificate file (enables HTTPS with -tls-key)")
+		tlsKey  = flag.String("tls-key", "", "TLS private key file")
+	)
+	flag.Parse()
+	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey); err != nil {
+		fmt.Fprintln(os.Stderr, "medvaultd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
+	if dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if (tlsCert == "") != (tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	master, err := vaultcfg.ParseMasterKey(key)
+	if err != nil {
+		return err
+	}
+	v, err := vaultcfg.Open(dir, name, master)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	handler := httpapi.New(v)
+	if tlsCert != "" {
+		log.Printf("medvaultd: serving vault %s (%d records) on %s (TLS)", dir, v.Len(), addr)
+		return http.ListenAndServeTLS(addr, tlsCert, tlsKey, handler)
+	}
+	log.Printf("medvaultd: serving vault %s (%d records) on %s (PLAINTEXT transport — use -tls-cert/-tls-key in production)", dir, v.Len(), addr)
+	return http.ListenAndServe(addr, handler)
+}

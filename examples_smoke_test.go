@@ -1,0 +1,37 @@
+package medvault_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end-to-end. The examples
+// are living documentation; a library change that breaks one must fail CI,
+// not a reader.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile+run takes a few seconds")
+	}
+	examples := map[string]string{
+		"quickstart":           "verified:",
+		"hospital":             "integrity sweep clean",
+		"migration":            "all tampering detected",
+		"breach_investigation": "blast radius limited",
+		"secure_deletion":      "post-disposal integrity sweep clean",
+		"patient_rights":       "rejected, as it must be",
+	}
+	for name, marker := range examples {
+		name, marker := name, marker
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", "./examples/"+name).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if !strings.Contains(string(out), marker) {
+				t.Errorf("example %s output missing %q:\n%s", name, marker, out)
+			}
+		})
+	}
+}

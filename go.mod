@@ -1,0 +1,3 @@
+module medvault
+
+go 1.22

@@ -1,0 +1,257 @@
+// Package attack implements the malicious-insider injector for experiment
+// E3. The paper's threat is an adversary *inside* the trust boundary —
+// database administrators, storage operators, anyone "with direct disk
+// access" beneath the query processor. The injector drives the optional
+// attack interfaces each storage model exposes and records, per attack and
+// per store, whether the store's own verification detected the damage.
+//
+// The attacks:
+//
+//	bit-flip        flip bytes of a record's current stored content
+//	field-rewrite   decode the stored bytes, change a field, re-encode
+//	                (only possible where content is plaintext on disk)
+//	replay          roll a record back to its previous content
+//	ciphertext-swap replace one record's stored bytes with another's
+//	                (cryptonly only; GCM's AAD binding should catch it)
+//	catalog-swap    point one record at another's valid content
+//	                (objstore only)
+//
+// Detection is judged end-to-end: after the attack, does Verify (or a read
+// of the attacked record) return stores.ErrTampered?
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"medvault/internal/ehr"
+	"medvault/internal/stores"
+	"medvault/internal/stores/cryptonly"
+	"medvault/internal/stores/objstore"
+)
+
+// Kind names an attack.
+type Kind string
+
+// Attack kinds.
+const (
+	BitFlip        Kind = "bit-flip"
+	FieldRewrite   Kind = "field-rewrite"
+	Replay         Kind = "replay"
+	CiphertextSwap Kind = "ciphertext-swap"
+	CatalogSwap    Kind = "catalog-swap"
+	// MetadataRollback hides the latest correction by truncating version
+	// metadata — the version of a rollback attack that applies to stores
+	// whose corrections are append-only versions rather than in-place state.
+	MetadataRollback Kind = "metadata-rollback"
+)
+
+// Kinds lists all attacks in presentation order.
+func Kinds() []Kind {
+	return []Kind{BitFlip, FieldRewrite, Replay, CiphertextSwap, CatalogSwap, MetadataRollback}
+}
+
+// MetadataRollbacker is implemented by stores whose version metadata an
+// insider could truncate to hide a correction.
+type MetadataRollbacker interface {
+	RollbackMetadata(id string) error
+}
+
+// Result records one attack's outcome on one store.
+type Result struct {
+	Store      string
+	Attack     Kind
+	Applicable bool // the storage model exposes the attacked surface
+	Mounted    bool // the attack could actually be performed
+	Detected   bool // the store's verification caught it
+	Detail     string
+}
+
+// Outcome renders the result for the E3 table: "detected", "UNDETECTED",
+// or "n/a" when the model has no equivalent surface.
+func (r Result) Outcome() string {
+	switch {
+	case !r.Applicable:
+		return "n/a"
+	case !r.Mounted:
+		return "not-mountable"
+	case r.Detected:
+		return "detected"
+	default:
+		return "UNDETECTED"
+	}
+}
+
+// verify reports whether the store now flags tampering, checking both the
+// whole-store verification and a direct read of the attacked record.
+func verify(s stores.Store, id string) bool {
+	if err := s.Verify(); errors.Is(err, stores.ErrTampered) {
+		return true
+	}
+	if _, err := s.Get(id); errors.Is(err, stores.ErrTampered) {
+		return true
+	}
+	return false
+}
+
+// Mount performs attack kind against record id (with otherID as the second
+// record for swap attacks) and reports the outcome. The store is damaged
+// afterwards; use a throwaway instance per attack.
+func Mount(s stores.Store, kind Kind, id, otherID string) Result {
+	res := Result{Store: s.Name(), Attack: kind}
+	switch kind {
+	case BitFlip:
+		t, ok := s.(stores.Tamperable)
+		if !ok {
+			// Models with no in-place mutable record surface (content-
+			// addressed objects) get the equivalent attack elsewhere.
+			if os, isObj := s.(*objstore.Store); isObj {
+				return mountObjectBitFlip(os, id, res)
+			}
+			return res
+		}
+		res.Applicable = true
+		err := t.TamperRecord(id, func(b []byte) []byte {
+			if len(b) > 0 {
+				b[len(b)/2] ^= 0xFF
+			}
+			return b
+		})
+		if err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		res.Mounted = true
+		res.Detected = verify(s, id)
+	case FieldRewrite:
+		t, ok := s.(stores.Tamperable)
+		if !ok {
+			return res
+		}
+		res.Applicable = true
+		// Only mountable where stored bytes decode as plaintext records: an
+		// insider cannot rewrite fields inside ciphertext without the key.
+		decoded := false
+		err := t.TamperRecord(id, func(b []byte) []byte {
+			rec, derr := ehr.Decode(b)
+			if derr != nil {
+				return b // encrypted at rest: leave untouched
+			}
+			decoded = true
+			rec.Body = "entry falsified by insider"
+			return ehr.Encode(rec)
+		})
+		if err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		if !decoded {
+			res.Detail = "content not plaintext; rewrite without key impossible"
+			return res
+		}
+		res.Mounted = true
+		res.Detected = verify(s, id)
+	case Replay:
+		r, ok := s.(stores.Replayable)
+		if !ok {
+			return res
+		}
+		res.Applicable = true
+		if err := r.ReplayOldVersion(id); err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		res.Mounted = true
+		res.Detected = verify(s, id)
+	case CiphertextSwap:
+		c, ok := s.(*cryptonly.Store)
+		if !ok {
+			return res
+		}
+		res.Applicable = true
+		// Copy otherID's ciphertext over id's. GCM binds AAD=id, so the
+		// swap must fail decryption — this one the model does catch.
+		other, err := rawBlobOf(c, otherID)
+		if err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		if err := c.TamperRecord(id, func([]byte) []byte { return other }); err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		res.Mounted = true
+		res.Detected = verify(s, id)
+	case CatalogSwap:
+		o, ok := s.(*objstore.Store)
+		if !ok {
+			return res
+		}
+		res.Applicable = true
+		if err := o.SubstituteCatalog(id, otherID); err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		res.Mounted = true
+		res.Detected = verify(s, id)
+	case MetadataRollback:
+		m, ok := s.(MetadataRollbacker)
+		if !ok {
+			return res
+		}
+		res.Applicable = true
+		if err := m.RollbackMetadata(id); err != nil {
+			res.Detail = err.Error()
+			return res
+		}
+		res.Mounted = true
+		res.Detected = verify(s, id)
+	default:
+		res.Detail = fmt.Sprintf("unknown attack %q", kind)
+	}
+	return res
+}
+
+// mountObjectBitFlip flips a byte inside a stored object by re-inserting a
+// corrupted object under the original address (modeling direct disk edit of
+// the object's blocks).
+func mountObjectBitFlip(o *objstore.Store, id string, res Result) Result {
+	res.Applicable = true
+	if err := o.CorruptObject(id, func(b []byte) []byte {
+		if len(b) > 0 {
+			b[len(b)/2] ^= 0xFF
+		}
+		return b
+	}); err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	res.Mounted = true
+	res.Detected = verify(o, id)
+	return res
+}
+
+// rawBlobOf extracts the stored ciphertext of a record from the
+// encryption-only store by capturing it through TamperRecord's callback.
+func rawBlobOf(c *cryptonly.Store, id string) ([]byte, error) {
+	var blob []byte
+	err := c.TamperRecord(id, func(b []byte) []byte {
+		blob = append([]byte(nil), b...)
+		return b
+	})
+	return blob, err
+}
+
+// Campaign mounts every applicable attack against the store, using a fresh
+// victim record per attack so damage does not compound. makeStore builds a
+// fresh pre-seeded store and returns it plus two record IDs: the victim
+// (which has a correction, so replay has something to roll back to) and a
+// second record for swaps.
+func Campaign(makeStore func() (stores.Store, string, string)) []Result {
+	var out []Result
+	for _, kind := range Kinds() {
+		s, victim, other := makeStore()
+		out = append(out, Mount(s, kind, victim, other))
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+// Package audit implements MedVault's tamper-evident audit trail.
+//
+// HIPAA requires recording every access to EPHI, and the paper requires that
+// the log itself be trustworthy: an insider who reads or alters a record must
+// not be able to scrub the evidence. Three mechanisms compose:
+//
+//  1. Every event carries the hash of its predecessor (a hash chain), so
+//     deleting or reordering events breaks the chain.
+//  2. Every event carries an HMAC under a key derived from the vault master
+//     secret, so an insider without the key cannot re-forge the chain after
+//     editing it.
+//  3. Checkpoints — Ed25519-signed statements of (sequence, chain head) — are
+//     emitted periodically and can be stored off-system; verification against
+//     any remembered checkpoint detects wholesale log replacement.
+//
+// Events are persisted to an append-only blockstore; an in-memory tail index
+// serves queries by actor, record, and time range.
+package audit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"medvault/internal/blockstore"
+	"medvault/internal/vcrypto"
+)
+
+// Action classifies an audited operation.
+type Action string
+
+// Audited actions. The set covers the lifecycle events the regulations call
+// out: access and modification (HIPAA Privacy Rule), disposition and media
+// movement (§164.310(d)(2)), and migration/custody (accountability).
+const (
+	ActionCreate     Action = "create"
+	ActionRead       Action = "read"
+	ActionCorrect    Action = "correct"
+	ActionSearch     Action = "search"
+	ActionDelete     Action = "delete" // crypto-shred at end of retention
+	ActionMigrateOut Action = "migrate-out"
+	ActionMigrateIn  Action = "migrate-in"
+	ActionBackup     Action = "backup"
+	ActionRestore    Action = "restore"
+	ActionVerify     Action = "verify"
+	ActionBreakGlass Action = "break-glass"
+	ActionPolicy     Action = "policy"
+)
+
+// Outcome records whether the attempted action was permitted.
+type Outcome string
+
+// Outcomes. Denied attempts are audited too: a pattern of denials is exactly
+// what a compliance officer investigates.
+const (
+	OutcomeAllowed Outcome = "allowed"
+	OutcomeDenied  Outcome = "denied"
+	OutcomeError   Outcome = "error"
+)
+
+// Event is one audit record.
+type Event struct {
+	Seq       uint64    // position in the chain, starting at 0
+	Timestamp time.Time // UTC
+	Actor     string    // authenticated principal
+	Action    Action
+	Record    string // affected record ID ("" for store-level events)
+	Version   uint64 // affected version (0 when not applicable)
+	Outcome   Outcome
+	Detail    string   // free-form context (never PHI; callers must not put PHI here)
+	PrevHash  [32]byte // hash of the previous event (zero for Seq 0)
+	Hash      [32]byte // hash of this event's content || PrevHash
+	MAC       []byte   // HMAC over Hash under the audit key
+}
+
+// Errors returned by the package.
+var (
+	// ErrChainBroken indicates the hash chain does not link.
+	ErrChainBroken = errors.New("audit: hash chain broken")
+	// ErrBadMAC indicates an event MAC failed: the event was forged or the
+	// log rewritten by someone without the audit key.
+	ErrBadMAC = errors.New("audit: event MAC invalid")
+	// ErrCheckpointMismatch indicates the log disagrees with a remembered
+	// signed checkpoint.
+	ErrCheckpointMismatch = errors.New("audit: checkpoint mismatch")
+	// ErrCorrupt indicates an undecodable persisted event.
+	ErrCorrupt = errors.New("audit: corrupt event encoding")
+)
+
+// Checkpoint is a signed commitment to the chain state after Seq events.
+type Checkpoint struct {
+	Seq       uint64   // number of events committed
+	Head      [32]byte // hash of the last committed event
+	Timestamp time.Time
+	Signature []byte
+}
+
+func checkpointBytes(seq uint64, head [32]byte, ts time.Time) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("medvault/audit-checkpoint/v1\x00")
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seq)
+	buf.Write(b[:])
+	buf.Write(head[:])
+	binary.BigEndian.PutUint64(b[:], uint64(ts.UnixNano()))
+	buf.Write(b[:])
+	return buf.Bytes()
+}
+
+// Verify checks the checkpoint signature.
+func (c Checkpoint) Verify(pub vcrypto.PublicKey) error {
+	if err := pub.Verify(checkpointBytes(c.Seq, c.Head, c.Timestamp), c.Signature); err != nil {
+		return fmt.Errorf("audit: checkpoint signature: %w", err)
+	}
+	return nil
+}
+
+// Log is a tamper-evident audit log. Safe for concurrent use.
+type Log struct {
+	mu       sync.RWMutex
+	store    blockstore.Store
+	macKey   vcrypto.Key
+	signer   *vcrypto.Signer
+	now      func() time.Time
+	events   []Event // in-memory mirror for queries and verification
+	lastHash [32]byte
+	every    int // checkpoint interval in events (0 = manual only)
+	cps      []Checkpoint
+}
+
+// Config configures a Log.
+type Config struct {
+	Store              blockstore.Store // persistence; required
+	MACKey             vcrypto.Key      // audit MAC key (derive from master)
+	Signer             *vcrypto.Signer  // checkpoint signer; required
+	Now                func() time.Time // nil means time.Now
+	CheckpointInterval int              // events per automatic checkpoint; 0 disables
+}
+
+// Open creates a Log over cfg.Store, replaying and verifying any persisted
+// events. Opening fails if the persisted chain does not verify — a vault
+// must not start on top of a tampered audit trail.
+func Open(cfg Config) (*Log, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("audit: Config.Store is required")
+	}
+	if cfg.Signer == nil {
+		return nil, errors.New("audit: Config.Signer is required")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	l := &Log{
+		store:  cfg.Store,
+		macKey: cfg.MACKey,
+		signer: cfg.Signer,
+		now:    now,
+		every:  cfg.CheckpointInterval,
+	}
+	err := cfg.Store.Scan(func(_ blockstore.Ref, data []byte) error {
+		e, err := decodeEvent(data)
+		if err != nil {
+			return err
+		}
+		if err := l.checkLink(e); err != nil {
+			return err
+		}
+		l.events = append(l.events, e)
+		l.lastHash = e.Hash
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("audit: replaying persisted log: %w", err)
+	}
+	return l, nil
+}
+
+// checkLink validates e against the current tail (chain, hash, MAC).
+func (l *Log) checkLink(e Event) error {
+	if e.Seq != uint64(len(l.events)) {
+		return fmt.Errorf("%w: sequence %d, want %d", ErrChainBroken, e.Seq, len(l.events))
+	}
+	if e.PrevHash != l.lastHash {
+		return fmt.Errorf("%w: prev-hash mismatch at seq %d", ErrChainBroken, e.Seq)
+	}
+	if eventHash(e) != e.Hash {
+		return fmt.Errorf("%w: content hash mismatch at seq %d", ErrChainBroken, e.Seq)
+	}
+	if !vcrypto.VerifyMAC(l.macKey, e.Hash[:], e.MAC) {
+		return fmt.Errorf("%w: at seq %d", ErrBadMAC, e.Seq)
+	}
+	return nil
+}
+
+// Append records an event and returns it with chain fields filled in.
+// Timestamp, Seq, PrevHash, Hash, and MAC are assigned by the log; caller
+// fields in those positions are ignored.
+func (l *Log) Append(e Event) (Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = uint64(len(l.events))
+	e.Timestamp = l.now().UTC()
+	e.PrevHash = l.lastHash
+	e.Hash = eventHash(e)
+	e.MAC = vcrypto.MAC(l.macKey, e.Hash[:])
+	if _, err := l.store.Append(encodeEvent(e)); err != nil {
+		return Event{}, fmt.Errorf("audit: persisting event %d: %w", e.Seq, err)
+	}
+	l.events = append(l.events, e)
+	l.lastHash = e.Hash
+	if l.every > 0 && len(l.events)%l.every == 0 {
+		l.cps = append(l.cps, l.checkpointLocked())
+	}
+	return e, nil
+}
+
+// Len returns the number of events.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// Checkpoint signs and returns a commitment to the current chain state.
+func (l *Log) Checkpoint() Checkpoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cp := l.checkpointLocked()
+	l.cps = append(l.cps, cp)
+	return cp
+}
+
+func (l *Log) checkpointLocked() Checkpoint {
+	ts := l.now().UTC()
+	seq := uint64(len(l.events))
+	return Checkpoint{
+		Seq:       seq,
+		Head:      l.lastHash,
+		Timestamp: ts,
+		Signature: l.signer.Sign(checkpointBytes(seq, l.lastHash, ts)),
+	}
+}
+
+// Checkpoints returns all checkpoints issued so far.
+func (l *Log) Checkpoints() []Checkpoint {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Checkpoint(nil), l.cps...)
+}
+
+// Verify walks the whole chain: hash links, content hashes, and MACs.
+// It returns the number of verified events.
+func (l *Log) Verify() (int, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev [32]byte
+	for i, e := range l.events {
+		if e.Seq != uint64(i) {
+			return i, fmt.Errorf("%w: sequence %d, want %d", ErrChainBroken, e.Seq, i)
+		}
+		if e.PrevHash != prev {
+			return i, fmt.Errorf("%w: prev-hash mismatch at seq %d", ErrChainBroken, i)
+		}
+		if eventHash(e) != e.Hash {
+			return i, fmt.Errorf("%w: content hash mismatch at seq %d", ErrChainBroken, i)
+		}
+		if !vcrypto.VerifyMAC(l.macKey, e.Hash[:], e.MAC) {
+			return i, fmt.Errorf("%w: at seq %d", ErrBadMAC, i)
+		}
+		prev = e.Hash
+	}
+	return len(l.events), nil
+}
+
+// VerifyAgainst verifies the chain and additionally checks it commits to the
+// remembered checkpoint: the event at cp.Seq-1 must hash to cp.Head. This is
+// the defence against wholesale log replacement with a freshly built chain.
+func (l *Log) VerifyAgainst(cp Checkpoint, pub vcrypto.PublicKey) error {
+	if err := cp.Verify(pub); err != nil {
+		return err
+	}
+	if _, err := l.Verify(); err != nil {
+		return err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if cp.Seq > uint64(len(l.events)) {
+		return fmt.Errorf("%w: checkpoint covers %d events, log has %d", ErrCheckpointMismatch, cp.Seq, len(l.events))
+	}
+	if cp.Seq == 0 {
+		return nil
+	}
+	if l.events[cp.Seq-1].Hash != cp.Head {
+		return fmt.Errorf("%w: head hash differs at seq %d", ErrCheckpointMismatch, cp.Seq-1)
+	}
+	return nil
+}
+
+// Query filters events. Zero-valued fields match everything.
+type Query struct {
+	Actor  string
+	Record string
+	Action Action
+	// From/Until bound Timestamp inclusively; zero times are open ends.
+	From, Until time.Time
+	// DeniedOnly restricts to Outcome == OutcomeDenied.
+	DeniedOnly bool
+}
+
+// Search returns events matching q in chain order.
+func (l *Log) Search(q Query) []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Event
+	for _, e := range l.events {
+		if q.Actor != "" && e.Actor != q.Actor {
+			continue
+		}
+		if q.Record != "" && e.Record != q.Record {
+			continue
+		}
+		if q.Action != "" && e.Action != q.Action {
+			continue
+		}
+		if !q.From.IsZero() && e.Timestamp.Before(q.From) {
+			continue
+		}
+		if !q.Until.IsZero() && e.Timestamp.After(q.Until) {
+			continue
+		}
+		if q.DeniedOnly && e.Outcome != OutcomeDenied {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Events returns a copy of the full event list in chain order.
+func (l *Log) Events() []Event {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]Event(nil), l.events...)
+}
+
+// eventHash hashes the event's content and PrevHash (not MAC).
+func eventHash(e Event) [32]byte {
+	var buf bytes.Buffer
+	buf.WriteString("medvault/audit-event/v1\x00")
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], e.Seq)
+	buf.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(e.Timestamp.UnixNano()))
+	buf.Write(b[:])
+	// Length-prefix strings so field boundaries cannot be confused.
+	for _, s := range []string{e.Actor, string(e.Action), e.Record, string(e.Outcome), e.Detail} {
+		binary.BigEndian.PutUint32(b[:4], uint32(len(s)))
+		buf.Write(b[:4])
+		buf.WriteString(s)
+	}
+	binary.BigEndian.PutUint64(b[:], e.Version)
+	buf.Write(b[:])
+	buf.Write(e.PrevHash[:])
+	return vcrypto.Hash(buf.Bytes())
+}
+
+// String renders an event as one log line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%d %s %s %s", e.Seq, e.Timestamp.Format(time.RFC3339), e.Actor, e.Action)
+	if e.Record != "" {
+		fmt.Fprintf(&sb, " %s", e.Record)
+		if e.Version != 0 {
+			fmt.Fprintf(&sb, "/v%d", e.Version)
+		}
+	}
+	fmt.Fprintf(&sb, " [%s]", e.Outcome)
+	if e.Detail != "" {
+		fmt.Fprintf(&sb, " %s", e.Detail)
+	}
+	return sb.String()
+}

@@ -1,0 +1,341 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"medvault/internal/blockstore"
+	"medvault/internal/vcrypto"
+)
+
+func newTestLog(t *testing.T, store blockstore.Store) (*Log, *vcrypto.Signer, vcrypto.Key) {
+	t.Helper()
+	signer, err := vcrypto.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := vcrypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store == nil {
+		store = blockstore.NewMemory(0)
+	}
+	l, err := Open(Config{Store: store, MACKey: key, Signer: signer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, signer, key
+}
+
+func appendN(t *testing.T, l *Log, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		_, err := l.Append(Event{
+			Actor:   fmt.Sprintf("dr-%d", i%3),
+			Action:  ActionRead,
+			Record:  fmt.Sprintf("patient-%d", i%5),
+			Version: uint64(i%2 + 1),
+			Outcome: OutcomeAllowed,
+			Detail:  "routine",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAppendBuildsChain(t *testing.T) {
+	l, _, _ := newTestLog(t, nil)
+	appendN(t, l, 10)
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", l.Len())
+	}
+	n, err := l.Verify()
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if n != 10 {
+		t.Errorf("verified %d events, want 10", n)
+	}
+	events := l.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].PrevHash != events[i-1].Hash {
+			t.Fatalf("chain link broken at %d", i)
+		}
+	}
+}
+
+func TestVerifyDetectsContentTampering(t *testing.T) {
+	l, _, _ := newTestLog(t, nil)
+	appendN(t, l, 20)
+	// Tamper with an event in the in-memory mirror (models an insider
+	// editing the running log's state).
+	l.events[7].Actor = "nobody"
+	if _, err := l.Verify(); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("content tamper: %v, want ErrChainBroken", err)
+	}
+}
+
+func TestVerifyDetectsRechainedForgeryWithoutKey(t *testing.T) {
+	l, _, _ := newTestLog(t, nil)
+	appendN(t, l, 10)
+	// An insider who edits event 3 and recomputes hashes downstream still
+	// lacks the MAC key: Verify must fail with ErrBadMAC at the first
+	// re-forged event.
+	l.events[3].Detail = "scrubbed"
+	for i := 3; i < len(l.events); i++ {
+		if i > 3 {
+			l.events[i].PrevHash = l.events[i-1].Hash
+		}
+		l.events[i].Hash = eventHash(l.events[i])
+		// MAC left stale: attacker cannot recompute it.
+	}
+	if _, err := l.Verify(); !errors.Is(err, ErrBadMAC) {
+		t.Errorf("re-chained forgery: %v, want ErrBadMAC", err)
+	}
+}
+
+func TestVerifyDetectsTruncation(t *testing.T) {
+	l, signer, _ := newTestLog(t, nil)
+	appendN(t, l, 10)
+	cp := l.Checkpoint()
+	// Truncate the tail: chain still verifies internally, but the
+	// checkpoint exposes the missing events.
+	l.events = l.events[:5]
+	l.lastHash = l.events[4].Hash
+	if _, err := l.Verify(); err != nil {
+		t.Fatalf("truncated chain should self-verify: %v", err)
+	}
+	if err := l.VerifyAgainst(cp, signer.Public()); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("truncation vs checkpoint: %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestVerifyAgainstHonestLog(t *testing.T) {
+	l, signer, _ := newTestLog(t, nil)
+	appendN(t, l, 8)
+	cp := l.Checkpoint()
+	appendN(t, l, 7) // keep growing after the checkpoint
+	if err := l.VerifyAgainst(cp, signer.Public()); err != nil {
+		t.Errorf("honest log failed checkpoint verification: %v", err)
+	}
+	// Zero checkpoint is always satisfied by a verifying log.
+	l2, s2, _ := newTestLog(t, nil)
+	if err := l2.VerifyAgainst(l2.Checkpoint(), s2.Public()); err != nil {
+		t.Errorf("empty checkpoint: %v", err)
+	}
+}
+
+func TestVerifyAgainstWholesaleReplacement(t *testing.T) {
+	l, signer, key := newTestLog(t, nil)
+	appendN(t, l, 10)
+	cp := l.Checkpoint()
+
+	// Attacker rebuilds a whole fresh log (even with the MAC key — say a
+	// compromised process) but cannot sign checkpoints. The remembered
+	// checkpoint exposes the replacement.
+	store2 := blockstore.NewMemory(0)
+	evilSigner, _ := vcrypto.NewSigner()
+	evil, err := Open(Config{Store: store2, MACKey: key, Signer: evilSigner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := evil.Append(Event{Actor: "ghost", Action: ActionRead, Outcome: OutcomeAllowed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := evil.VerifyAgainst(cp, signer.Public()); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("replaced log: %v, want ErrCheckpointMismatch", err)
+	}
+	// And a checkpoint forged by the evil signer fails signature check.
+	forged := evil.Checkpoint()
+	if err := evil.VerifyAgainst(forged, signer.Public()); !errors.Is(err, vcrypto.ErrBadSignature) {
+		t.Errorf("forged checkpoint: %v, want ErrBadSignature", err)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	l, signer, key := newTestLog(t, store)
+	appendN(t, l, 25)
+	want := l.Events()
+
+	re, err := Open(Config{Store: store, MACKey: key, Signer: signer})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if re.Len() != 25 {
+		t.Fatalf("reopened Len = %d, want 25", re.Len())
+	}
+	got := re.Events()
+	for i := range want {
+		if got[i].Hash != want[i].Hash || got[i].Actor != want[i].Actor {
+			t.Fatalf("event %d differs after reopen", i)
+		}
+	}
+	if _, err := re.Verify(); err != nil {
+		t.Errorf("reopened log fails verify: %v", err)
+	}
+	// Appends continue the chain.
+	if _, err := re.Append(Event{Actor: "x", Action: ActionRead, Outcome: OutcomeAllowed}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Verify(); err != nil {
+		t.Errorf("verify after continued append: %v", err)
+	}
+}
+
+func TestOpenRejectsTamperedPersistence(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	l, signer, key := newTestLog(t, store)
+	appendN(t, l, 5)
+
+	// Corrupt the persisted bytes of one event via raw segment access, with
+	// a valid CRC re-wrap being impossible — so instead rebuild a store with
+	// one event's payload altered but CRC fixed (insider with disk access).
+	var payloads [][]byte
+	if err := store.Scan(func(_ blockstore.Ref, data []byte) error {
+		payloads = append(payloads, append([]byte(nil), data...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := decodeEvent(payloads[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Actor = "tampered"
+	payloads[2] = encodeEvent(e)
+
+	evil := blockstore.NewMemory(0)
+	for _, p := range payloads {
+		if _, err := evil.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Open(Config{Store: evil, MACKey: key, Signer: signer}); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("tampered persistence accepted: %v", err)
+	}
+}
+
+func TestSearchFilters(t *testing.T) {
+	l, _, _ := newTestLog(t, nil)
+	base := time.Now()
+	appendN(t, l, 30)
+	if _, err := l.Append(Event{Actor: "intruder", Action: ActionRead, Record: "patient-1", Outcome: OutcomeDenied}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := l.Search(Query{Actor: "dr-1"}); len(got) != 10 {
+		t.Errorf("actor filter: %d events, want 10", len(got))
+	}
+	if got := l.Search(Query{Record: "patient-1"}); len(got) != 7 {
+		t.Errorf("record filter: %d events, want 7", len(got))
+	}
+	if got := l.Search(Query{DeniedOnly: true}); len(got) != 1 || got[0].Actor != "intruder" {
+		t.Errorf("denied filter: %v", got)
+	}
+	if got := l.Search(Query{Action: ActionCorrect}); len(got) != 0 {
+		t.Errorf("action filter: %d events, want 0", len(got))
+	}
+	if got := l.Search(Query{Until: base.Add(-time.Hour)}); len(got) != 0 {
+		t.Errorf("until filter: %d events, want 0", len(got))
+	}
+	if got := l.Search(Query{From: base.Add(-time.Hour)}); len(got) != 31 {
+		t.Errorf("from filter: %d events, want 31", len(got))
+	}
+}
+
+func TestAutomaticCheckpoints(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	signer, _ := vcrypto.NewSigner()
+	key, _ := vcrypto.NewKey()
+	l, err := Open(Config{Store: store, MACKey: key, Signer: signer, CheckpointInterval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		if _, err := l.Append(Event{Actor: "a", Action: ActionRead, Outcome: OutcomeAllowed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cps := l.Checkpoints()
+	if len(cps) != 3 {
+		t.Fatalf("got %d automatic checkpoints, want 3", len(cps))
+	}
+	for _, cp := range cps {
+		if err := l.VerifyAgainst(cp, signer.Public()); err != nil {
+			t.Errorf("checkpoint at seq %d: %v", cp.Seq, err)
+		}
+	}
+}
+
+func TestEventCodecRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, actor, record, detail string, version uint64, prev, hash [32]byte, mac []byte) bool {
+		e := Event{
+			Seq:       seq,
+			Timestamp: time.Unix(0, 1234567890).UTC(),
+			Actor:     actor,
+			Action:    ActionCorrect,
+			Record:    record,
+			Version:   version,
+			Outcome:   OutcomeAllowed,
+			Detail:    detail,
+			PrevHash:  prev,
+			Hash:      hash,
+			MAC:       mac,
+		}
+		got, err := decodeEvent(encodeEvent(e))
+		if err != nil {
+			return false
+		}
+		return got.Seq == e.Seq && got.Actor == e.Actor && got.Record == e.Record &&
+			got.Detail == e.Detail && got.Version == e.Version && got.PrevHash == e.PrevHash &&
+			got.Hash == e.Hash && string(got.MAC) == string(e.MAC) && got.Timestamp.Equal(e.Timestamp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeEventRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {0}, {0, 2}, append(encodeEvent(Event{}), 0xFF)} {
+		if _, err := decodeEvent(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("garbage %v accepted: %v", b, err)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 3, Actor: "dr-a", Action: ActionCorrect, Record: "p1", Version: 2, Outcome: OutcomeAllowed, Detail: "typo fix"}
+	s := e.String()
+	for _, want := range []string{"#3", "dr-a", "correct", "p1/v2", "[allowed]", "typo fix"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestInjectedClock(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	signer, _ := vcrypto.NewSigner()
+	key, _ := vcrypto.NewKey()
+	fixed := time.Date(2040, 1, 2, 3, 4, 5, 0, time.UTC)
+	l, err := Open(Config{Store: store, MACKey: key, Signer: signer, Now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := l.Append(Event{Actor: "a", Action: ActionRead, Outcome: OutcomeAllowed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Timestamp.Equal(fixed) {
+		t.Errorf("timestamp = %v, want %v", e.Timestamp, fixed)
+	}
+}

@@ -1,0 +1,133 @@
+package audit
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Persisted event layout (all integers big-endian):
+//
+//	u16 version | u64 seq | i64 unixNano | str actor | str action |
+//	str record | u64 recVersion | str outcome | str detail |
+//	32B prevHash | 32B hash | str mac
+//
+// where str is u32 length || bytes.
+const codecVersion = 1
+
+func encodeEvent(e Event) []byte {
+	var buf bytes.Buffer
+	writeU16(&buf, codecVersion)
+	writeU64(&buf, e.Seq)
+	writeU64(&buf, uint64(e.Timestamp.UnixNano()))
+	writeStr(&buf, e.Actor)
+	writeStr(&buf, string(e.Action))
+	writeStr(&buf, e.Record)
+	writeU64(&buf, e.Version)
+	writeStr(&buf, string(e.Outcome))
+	writeStr(&buf, e.Detail)
+	buf.Write(e.PrevHash[:])
+	buf.Write(e.Hash[:])
+	writeBytes(&buf, e.MAC)
+	return buf.Bytes()
+}
+
+func decodeEvent(data []byte) (Event, error) {
+	r := bytes.NewReader(data)
+	ver, err := readU16(r)
+	if err != nil || ver != codecVersion {
+		return Event{}, fmt.Errorf("%w: version %d", ErrCorrupt, ver)
+	}
+	var e Event
+	fields := []func() error{
+		func() error { e.Seq, err = readU64(r); return err },
+		func() error {
+			ns, err := readU64(r)
+			e.Timestamp = time.Unix(0, int64(ns)).UTC()
+			return err
+		},
+		func() error { s, err := readStr(r); e.Actor = s; return err },
+		func() error { s, err := readStr(r); e.Action = Action(s); return err },
+		func() error { s, err := readStr(r); e.Record = s; return err },
+		func() error { e.Version, err = readU64(r); return err },
+		func() error { s, err := readStr(r); e.Outcome = Outcome(s); return err },
+		func() error { s, err := readStr(r); e.Detail = s; return err },
+		func() error { _, err := io.ReadFull(r, e.PrevHash[:]); return err },
+		func() error { _, err := io.ReadFull(r, e.Hash[:]); return err },
+		func() error { b, err := readBytesField(r); e.MAC = b; return err },
+	}
+	for _, f := range fields {
+		if err := f(); err != nil {
+			return Event{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	if r.Len() != 0 {
+		return Event{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.Len())
+	}
+	return e, nil
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU64(buf *bytes.Buffer, v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeStr(buf *bytes.Buffer, s string) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(s)))
+	buf.Write(b[:])
+	buf.WriteString(s)
+}
+
+func writeBytes(buf *bytes.Buffer, p []byte) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(p)))
+	buf.Write(b[:])
+	buf.Write(p)
+}
+
+func readU16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+func readU64(r *bytes.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b[:]), nil
+}
+
+func readStr(r *bytes.Reader) (string, error) {
+	b, err := readBytesField(r)
+	return string(b), err
+}
+
+func readBytesField(r *bytes.Reader) ([]byte, error) {
+	var lb [4]byte
+	if _, err := io.ReadFull(r, lb[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lb[:])
+	if int(n) > r.Len() {
+		return nil, fmt.Errorf("field length %d exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

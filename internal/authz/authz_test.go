@@ -1,0 +1,201 @@
+package authz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"medvault/internal/clock"
+)
+
+func setup(t *testing.T, now func() time.Time) *Authorizer {
+	t.Helper()
+	a := New(now)
+	for _, r := range StandardRoles() {
+		a.DefineRole(r)
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(a.AddPrincipal("dr-house", "physician"))
+	must(a.AddPrincipal("nurse-joy", "nurse"))
+	must(a.AddPrincipal("clerk-bob", "billing-clerk"))
+	must(a.AddPrincipal("officer-kim", "compliance-officer"))
+	must(a.AddPrincipal("arch-lee", "archivist"))
+	return a
+}
+
+func TestRoleBasedDecisions(t *testing.T) {
+	a := setup(t, nil)
+	cases := []struct {
+		principal string
+		act       Action
+		cat       string
+		want      bool
+	}{
+		{"dr-house", ActRead, "clinical", true},
+		{"dr-house", ActCorrect, "clinical", true},
+		{"dr-house", ActWrite, "lab", true},
+		{"dr-house", ActRead, "billing", false}, // minimum necessary
+		{"dr-house", ActShred, "clinical", false},
+		{"nurse-joy", ActRead, "clinical", true},
+		{"nurse-joy", ActWrite, "clinical", false},
+		{"nurse-joy", ActRead, "imaging", false},
+		{"clerk-bob", ActRead, "billing", true},
+		{"clerk-bob", ActRead, "clinical", false},
+		{"officer-kim", ActAudit, "anything", true}, // unscoped role
+		{"officer-kim", ActRead, "clinical", false},
+		{"arch-lee", ActShred, "clinical", true},
+		{"arch-lee", ActMigrate, "lab", true},
+		{"arch-lee", ActRead, "clinical", false},
+	}
+	for _, c := range cases {
+		d := a.Check(c.principal, c.act, c.cat)
+		if d.Allowed != c.want {
+			t.Errorf("%s %s %s: allowed=%v want %v (%s)", c.principal, c.act, c.cat, d.Allowed, c.want, d.Reason)
+		}
+		if d.Allowed && d.Reason == "" {
+			t.Errorf("%s %s: allowed without reason", c.principal, c.act)
+		}
+	}
+}
+
+func TestUnknownPrincipalDenied(t *testing.T) {
+	a := setup(t, nil)
+	d := a.Check("mallory", ActRead, "clinical")
+	if d.Allowed {
+		t.Error("unknown principal allowed")
+	}
+	if !strings.Contains(d.Reason, "unknown principal") {
+		t.Errorf("reason = %q", d.Reason)
+	}
+}
+
+func TestAddPrincipalUnknownRole(t *testing.T) {
+	a := New(nil)
+	if err := a.AddPrincipal("x", "ghost-role"); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("AddPrincipal with undefined role: %v", err)
+	}
+}
+
+func TestBreakGlassLifecycle(t *testing.T) {
+	vc := clock.NewVirtual(time.Date(2026, 7, 6, 12, 0, 0, 0, time.UTC))
+	a := setup(t, vc.Now)
+
+	// Nurse cannot normally read imaging.
+	if d := a.Check("nurse-joy", ActRead, "imaging"); d.Allowed {
+		t.Fatal("precondition failed: nurse can read imaging")
+	}
+	// Grant requires a reason.
+	if _, err := a.BreakGlass("nurse-joy", "", time.Hour); !errors.Is(err, ErrEmptyReason) {
+		t.Errorf("empty reason: %v", err)
+	}
+	// Unknown principals cannot break glass.
+	if _, err := a.BreakGlass("mallory", "emergency", time.Hour); !errors.Is(err, ErrUnknownPrincipal) {
+		t.Errorf("unknown principal: %v", err)
+	}
+
+	g, err := a.BreakGlass("nurse-joy", "code blue in ER", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Expires.Sub(g.Issued) != time.Hour {
+		t.Errorf("grant window = %v", g.Expires.Sub(g.Issued))
+	}
+	d := a.Check("nurse-joy", ActRead, "imaging")
+	if !d.Allowed || !d.BreakGlass {
+		t.Errorf("break-glass read denied: %+v", d)
+	}
+	if !strings.Contains(d.Reason, "code blue") {
+		t.Errorf("break-glass reason not propagated: %q", d.Reason)
+	}
+	// Break-glass never covers destructive/administrative actions.
+	if d := a.Check("nurse-joy", ActShred, "clinical"); d.Allowed {
+		t.Error("break-glass elevated to shred")
+	}
+	if d := a.Check("nurse-joy", ActAdmin, ""); d.Allowed {
+		t.Error("break-glass elevated to admin")
+	}
+	// Normal role permissions do not get the BreakGlass flag.
+	if d := a.Check("nurse-joy", ActRead, "clinical"); !d.Allowed || d.BreakGlass {
+		t.Errorf("role-based read mislabelled: %+v", d)
+	}
+	if got := a.ActiveGrants(); len(got) != 1 || got[0].Principal != "nurse-joy" {
+		t.Errorf("ActiveGrants = %v", got)
+	}
+
+	// Expiry ends the elevation.
+	vc.Advance(2 * time.Hour)
+	if d := a.Check("nurse-joy", ActRead, "imaging"); d.Allowed {
+		t.Error("expired grant still honoured")
+	}
+	if got := a.ActiveGrants(); len(got) != 0 {
+		t.Errorf("expired grant still listed: %v", got)
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	a := setup(t, nil)
+	if _, err := a.BreakGlass("clerk-bob", "disaster recovery", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if d := a.Check("clerk-bob", ActRead, "clinical"); !d.Allowed {
+		t.Fatal("grant not active")
+	}
+	a.Revoke("clerk-bob")
+	if d := a.Check("clerk-bob", ActRead, "clinical"); d.Allowed {
+		t.Error("revoked grant still honoured")
+	}
+}
+
+func TestPrincipals(t *testing.T) {
+	a := setup(t, nil)
+	got := a.Principals()
+	if len(got) != 5 {
+		t.Fatalf("Principals = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Error("Principals not sorted")
+		}
+	}
+}
+
+func TestMultipleRolesUnion(t *testing.T) {
+	a := New(nil)
+	a.DefineRole(NewRole("reader", []Action{ActRead}, "clinical"))
+	a.DefineRole(NewRole("biller", []Action{ActRead, ActWrite}, "billing"))
+	if err := a.AddPrincipal("dual", "reader", "biller"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		act  Action
+		cat  string
+		want bool
+	}{
+		{ActRead, "clinical", true},
+		{ActRead, "billing", true},
+		{ActWrite, "billing", true},
+		{ActWrite, "clinical", false},
+	} {
+		if d := a.Check("dual", c.act, c.cat); d.Allowed != c.want {
+			t.Errorf("dual %s %s = %v, want %v", c.act, c.cat, d.Allowed, c.want)
+		}
+	}
+}
+
+func TestRedefiningRoleTakesEffect(t *testing.T) {
+	a := New(nil)
+	a.DefineRole(NewRole("r", []Action{ActRead}))
+	a.AddPrincipal("p", "r")
+	if d := a.Check("p", ActWrite, "x"); d.Allowed {
+		t.Fatal("precondition")
+	}
+	a.DefineRole(NewRole("r", []Action{ActRead, ActWrite}))
+	if d := a.Check("p", ActWrite, "x"); !d.Allowed {
+		t.Error("role redefinition not applied")
+	}
+}

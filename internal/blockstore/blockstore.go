@@ -1,0 +1,72 @@
+// Package blockstore implements MedVault's low-level storage engine: a
+// log-structured, append-only store of variable-length blocks, split across
+// fixed-capacity segment files.
+//
+// Append-only is a deliberate compliance property, not an implementation
+// convenience: nothing in the engine can overwrite a written byte, so every
+// higher layer (WORM, versioned records, audit) inherits physical
+// write-once behaviour on cheap commodity files — the paper's cost
+// requirement. Each block is framed with a CRC-32C so accidental corruption
+// and torn writes are detected on read; *malicious* rewrites (an insider can
+// recompute a CRC) are caught one layer up by the Merkle commitment log.
+package blockstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNotFound indicates no block exists at the given reference.
+	ErrNotFound = errors.New("blockstore: block not found")
+	// ErrCorrupt indicates a block failed its CRC or framing check.
+	ErrCorrupt = errors.New("blockstore: block corrupt")
+	// ErrClosed indicates use of a closed store.
+	ErrClosed = errors.New("blockstore: store closed")
+	// ErrTooLarge indicates a block exceeding the segment capacity.
+	ErrTooLarge = errors.New("blockstore: block exceeds segment capacity")
+)
+
+// Ref locates a block: which segment and the byte offset of its frame
+// within that segment.
+type Ref struct {
+	Segment uint32
+	Offset  uint64
+}
+
+// String formats a Ref for logs and audit entries.
+func (r Ref) String() string { return fmt.Sprintf("%d:%d", r.Segment, r.Offset) }
+
+// Store is an append-only block store.
+type Store interface {
+	// Append writes data as a new block and returns its reference.
+	Append(data []byte) (Ref, error)
+	// Read returns the block at ref. The returned slice is a private copy.
+	Read(ref Ref) ([]byte, error)
+	// Scan calls fn for every block in append order; stopping early by
+	// returning a non-nil error (which Scan then returns). Scan also
+	// verifies framing as it goes, so a full Scan doubles as a media check.
+	Scan(fn func(ref Ref, data []byte) error) error
+	// Len returns the number of blocks stored.
+	Len() int
+	// StorageBytes returns the total bytes consumed, including framing.
+	StorageBytes() int64
+	// Sync flushes buffered writes to stable storage.
+	Sync() error
+	// Close releases resources. The store is unusable afterwards.
+	Close() error
+}
+
+// Frame layout:
+//
+//	u8 magic (0xB1) | u32 payload length | u32 CRC-32C(payload) | payload
+const (
+	frameMagic    = 0xB1
+	frameOverhead = 1 + 4 + 4
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }

@@ -1,0 +1,402 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// stores returns one of each backend, pre-sized with small segments so
+// rotation is exercised.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	file, err := OpenFile(t.TempDir(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { file.Close() })
+	return map[string]Store{
+		"memory": NewMemory(1024),
+		"file":   file,
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var refs []Ref
+			var want [][]byte
+			for i := 0; i < 50; i++ {
+				data := bytes.Repeat([]byte{byte(i)}, i*7%300)
+				ref, err := s.Append(data)
+				if err != nil {
+					t.Fatalf("Append %d: %v", i, err)
+				}
+				refs = append(refs, ref)
+				want = append(want, data)
+			}
+			if s.Len() != 50 {
+				t.Errorf("Len = %d, want 50", s.Len())
+			}
+			for i, ref := range refs {
+				got, err := s.Read(ref)
+				if err != nil {
+					t.Fatalf("Read %d: %v", i, err)
+				}
+				if !bytes.Equal(got, want[i]) {
+					t.Errorf("block %d mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+func TestScanOrderAndCompleteness(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var want [][]byte
+			for i := 0; i < 40; i++ {
+				data := []byte(fmt.Sprintf("block-%03d", i))
+				if _, err := s.Append(data); err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, data)
+			}
+			var got [][]byte
+			err := s.Scan(func(ref Ref, data []byte) error {
+				got = append(got, data)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("Scan: %v", err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("scanned %d blocks, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if !bytes.Equal(got[i], want[i]) {
+					t.Errorf("scan order broken at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 10; i++ {
+				if _, err := s.Append([]byte{byte(i)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stop := errors.New("stop")
+			n := 0
+			err := s.Scan(func(ref Ref, data []byte) error {
+				n++
+				if n == 3 {
+					return stop
+				}
+				return nil
+			})
+			if !errors.Is(err, stop) {
+				t.Errorf("Scan returned %v, want stop sentinel", err)
+			}
+			if n != 3 {
+				t.Errorf("callback ran %d times, want 3", n)
+			}
+		})
+	}
+}
+
+func TestReadBadRef(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			ref, err := s.Append([]byte("hello"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Read(Ref{Segment: 99}); !errors.Is(err, ErrNotFound) {
+				t.Errorf("bad segment: %v", err)
+			}
+			if _, err := s.Read(Ref{Segment: ref.Segment, Offset: 1 << 40}); !errors.Is(err, ErrNotFound) {
+				t.Errorf("bad offset: %v", err)
+			}
+			// Offset pointing mid-frame must fail the magic check.
+			if _, err := s.Read(Ref{Segment: ref.Segment, Offset: ref.Offset + 1}); err == nil {
+				t.Error("mid-frame read succeeded")
+			}
+		})
+	}
+}
+
+func TestTooLargeBlock(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Append(make([]byte, 2048)); !errors.Is(err, ErrTooLarge) {
+				t.Errorf("oversized block: %v", err)
+			}
+		})
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Append([]byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Append([]byte("y")); !errors.Is(err, ErrClosed) {
+				t.Errorf("Append after close: %v", err)
+			}
+			if _, err := s.Read(Ref{}); !errors.Is(err, ErrClosed) {
+				t.Errorf("Read after close: %v", err)
+			}
+			if err := s.Scan(func(Ref, []byte) error { return nil }); !errors.Is(err, ErrClosed) {
+				t.Errorf("Scan after close: %v", err)
+			}
+		})
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	m := NewMemory(128)
+	for i := 0; i < 20; i++ {
+		if _, err := m.Append(make([]byte, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.SegmentCount() < 5 {
+		t.Errorf("expected rotation into >=5 segments, got %d", m.SegmentCount())
+	}
+	if m.Len() != 20 {
+		t.Errorf("Len = %d, want 20", m.Len())
+	}
+}
+
+func TestStorageBytesAccountsFraming(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			const n, sz = 10, 30
+			for i := 0; i < n; i++ {
+				if _, err := s.Append(make([]byte, sz)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := int64(n * (sz + frameOverhead))
+			if got := s.StorageBytes(); got != want {
+				t.Errorf("StorageBytes = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestFileReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []Ref
+	for i := 0; i < 25; i++ {
+		ref, err := f.Append([]byte(fmt.Sprintf("persistent-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenFile(dir, 256)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 25 {
+		t.Errorf("recovered Len = %d, want 25", re.Len())
+	}
+	for i, ref := range refs {
+		got, err := re.Read(ref)
+		if err != nil {
+			t.Fatalf("Read %d after reopen: %v", i, err)
+		}
+		if want := fmt.Sprintf("persistent-%d", i); string(got) != want {
+			t.Errorf("block %d = %q, want %q", i, got, want)
+		}
+	}
+	// And appends continue in the right place.
+	ref, err := re.Append([]byte("after-reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.Read(ref)
+	if err != nil || string(got) != "after-reopen" {
+		t.Errorf("append after reopen: %q %v", got, err)
+	}
+}
+
+func TestFileRecoveryTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := f.Append([]byte(fmt.Sprintf("good-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	// Simulate a crash mid-append: write a partial frame at the tail.
+	path := filepath.Join(dir, segName(0))
+	file, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write([]byte{frameMagic, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	file.Close()
+
+	re, err := OpenFile(dir, 4096)
+	if err != nil {
+		t.Fatalf("recovery with torn tail failed: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 5 {
+		t.Errorf("recovered %d blocks, want 5", re.Len())
+	}
+	// A new append must succeed and be readable.
+	ref, err := re.Append([]byte("post-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := re.Read(ref); err != nil || string(got) != "post-crash" {
+		t.Errorf("post-crash append: %q %v", got, err)
+	}
+}
+
+func TestFileDetectsBitRot(t *testing.T) {
+	dir := t.TempDir()
+	f, err := OpenFile(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := f.Append(bytes.Repeat([]byte("EPHI"), 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Sync()
+
+	// Flip one payload byte on disk, out-of-band.
+	path := filepath.Join(dir, segName(0))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[frameOverhead+3] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := f.Read(ref); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit rot not detected: %v", err)
+	}
+	if err := f.Scan(func(Ref, []byte) error { return nil }); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Scan missed bit rot: %v", err)
+	}
+	f.Close()
+
+	// Recovery refuses to resurrect the corrupt block: it truncates at the
+	// corruption point (it is the last segment, so this is a torn tail).
+	re, err := OpenFile(dir, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 0 {
+		t.Errorf("corrupt block resurrected: Len = %d", re.Len())
+	}
+}
+
+func TestConcurrentAppendRead(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			const writers, per = 8, 30
+			var (
+				mu   sync.Mutex
+				refs []Ref
+				wg   sync.WaitGroup
+			)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						ref, err := s.Append([]byte(fmt.Sprintf("w%d-i%d", w, i)))
+						if err != nil {
+							t.Errorf("Append: %v", err)
+							return
+						}
+						mu.Lock()
+						refs = append(refs, ref)
+						mu.Unlock()
+						if _, err := s.Read(ref); err != nil {
+							t.Errorf("Read own write: %v", err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if s.Len() != writers*per {
+				t.Errorf("Len = %d, want %d", s.Len(), writers*per)
+			}
+			seen := make(map[Ref]bool)
+			for _, r := range refs {
+				if seen[r] {
+					t.Fatalf("duplicate ref %v handed out", r)
+				}
+				seen[r] = true
+			}
+		})
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		payload, n, err := decodeFrame(encodeFrame(data))
+		return err == nil && n == len(data)+frameOverhead && bytes.Equal(payload, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRefString(t *testing.T) {
+	if got := (Ref{Segment: 3, Offset: 42}).String(); got != "3:42" {
+		t.Errorf("Ref.String() = %q", got)
+	}
+}
+
+func TestOpenFileRejectsGappySegments(t *testing.T) {
+	dir := t.TempDir()
+	// seg-00000000 missing, seg-00000001 present.
+	if err := os.WriteFile(filepath.Join(dir, segName(1)), nil, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(dir, 1024); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("gappy segment numbering accepted: %v", err)
+	}
+}

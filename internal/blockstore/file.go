@@ -1,0 +1,308 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File is a Store backed by segment files in a directory. Segments are named
+// seg-00000000.blk, seg-00000001.blk, ... and are only ever appended to;
+// rotation happens when a segment would exceed its capacity. Reopening a
+// directory recovers the store by scanning existing segments, truncating a
+// torn trailing frame in the newest segment (the only place one can occur).
+type File struct {
+	mu     sync.RWMutex
+	dir    string
+	segCap int
+	active *os.File // newest segment, opened for append
+	sizes  []int64  // committed byte length per segment
+	count  int
+	closed bool
+}
+
+var _ Store = (*File)(nil)
+
+// OpenFile opens (or creates) a file-backed store in dir. segCap is the
+// segment capacity in bytes (0 means 64 MiB).
+func OpenFile(dir string, segCap int) (*File, error) {
+	if segCap <= 0 {
+		segCap = 64 << 20
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("blockstore: creating %s: %w", dir, err)
+	}
+	f := &File{dir: dir, segCap: segCap}
+	if err := f.recover(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func segName(i int) string { return fmt.Sprintf("seg-%08d.blk", i) }
+
+// recover scans existing segments, validating frames and truncating a torn
+// tail on the newest segment.
+func (f *File) recover() error {
+	names, err := listSegments(f.dir)
+	if err != nil {
+		return err
+	}
+	if len(names) == 0 {
+		return f.openSegment(0)
+	}
+	f.sizes = make([]int64, len(names))
+	for i, name := range names {
+		path := filepath.Join(f.dir, name)
+		valid, blocks, err := validatePrefix(path)
+		if err != nil {
+			return fmt.Errorf("blockstore: recovering %s: %w", name, err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			return fmt.Errorf("blockstore: recovering %s: %w", name, err)
+		}
+		if valid < info.Size() {
+			if i != len(names)-1 {
+				// Torn frames may only exist at the very end of the log.
+				return fmt.Errorf("%w: segment %s has invalid frame at offset %d", ErrCorrupt, name, valid)
+			}
+			if err := os.Truncate(path, valid); err != nil {
+				return fmt.Errorf("blockstore: truncating torn tail of %s: %w", name, err)
+			}
+		}
+		f.sizes[i] = valid
+		f.count += blocks
+	}
+	last := len(names) - 1
+	active, err := os.OpenFile(filepath.Join(f.dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("blockstore: opening active segment: %w", err)
+	}
+	f.active = active
+	return nil
+}
+
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: listing %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".blk") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	// Segment numbering must be dense: a missing middle segment means lost data.
+	for i, name := range names {
+		num, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".blk"))
+		if err != nil || num != i {
+			return nil, fmt.Errorf("%w: unexpected segment file %s at position %d", ErrCorrupt, name, i)
+		}
+	}
+	return names, nil
+}
+
+// validatePrefix returns the byte length of the valid frame prefix of the
+// segment file and the number of complete frames in it.
+func validatePrefix(path string) (int64, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	off := 0
+	blocks := 0
+	for off < len(data) {
+		_, n, err := decodeFrame(data[off:])
+		if err != nil {
+			return int64(off), blocks, nil // torn/corrupt tail starts here
+		}
+		off += n
+		blocks++
+	}
+	return int64(off), blocks, nil
+}
+
+func (f *File) openSegment(i int) error {
+	file, err := os.OpenFile(filepath.Join(f.dir, segName(i)), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("blockstore: creating segment %d: %w", i, err)
+	}
+	f.active = file
+	f.sizes = append(f.sizes, 0)
+	return nil
+}
+
+// Append implements Store.
+func (f *File) Append(data []byte) (Ref, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return Ref{}, ErrClosed
+	}
+	frame := encodeFrame(data)
+	if len(frame) > f.segCap {
+		return Ref{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(frame), f.segCap)
+	}
+	cur := len(f.sizes) - 1
+	if f.sizes[cur]+int64(len(frame)) > int64(f.segCap) {
+		if err := f.active.Close(); err != nil {
+			return Ref{}, fmt.Errorf("blockstore: closing full segment: %w", err)
+		}
+		if err := f.openSegment(cur + 1); err != nil {
+			return Ref{}, err
+		}
+		cur++
+	}
+	ref := Ref{Segment: uint32(cur), Offset: uint64(f.sizes[cur])}
+	if _, err := f.active.Write(frame); err != nil {
+		return Ref{}, fmt.Errorf("blockstore: appending %d bytes: %w", len(frame), err)
+	}
+	f.sizes[cur] += int64(len(frame))
+	f.count++
+	return ref, nil
+}
+
+// Read implements Store.
+func (f *File) Read(ref Ref) ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return nil, ErrClosed
+	}
+	if int(ref.Segment) >= len(f.sizes) {
+		return nil, fmt.Errorf("%w: segment %d", ErrNotFound, ref.Segment)
+	}
+	if int64(ref.Offset) >= f.sizes[ref.Segment] {
+		return nil, fmt.Errorf("%w: offset %d beyond committed %d", ErrNotFound, ref.Offset, f.sizes[ref.Segment])
+	}
+	file, err := os.Open(filepath.Join(f.dir, segName(int(ref.Segment))))
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: opening segment %d: %w", ref.Segment, err)
+	}
+	defer file.Close()
+	var hdr [frameOverhead]byte
+	if _, err := file.ReadAt(hdr[:], int64(ref.Offset)); err != nil {
+		return nil, fmt.Errorf("%w: reading frame header: %v", ErrCorrupt, err)
+	}
+	if hdr[0] != frameMagic {
+		return nil, fmt.Errorf("%w: bad frame magic 0x%02x", ErrCorrupt, hdr[0])
+	}
+	n := binary.BigEndian.Uint32(hdr[1:5])
+	crc := binary.BigEndian.Uint32(hdr[5:9])
+	payload := make([]byte, n)
+	if _, err := file.ReadAt(payload, int64(ref.Offset)+frameOverhead); err != nil {
+		return nil, fmt.Errorf("%w: reading %d-byte payload: %v", ErrCorrupt, n, err)
+	}
+	if checksum(payload) != crc {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// Scan implements Store.
+func (f *File) Scan(fn func(ref Ref, data []byte) error) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.closed {
+		return ErrClosed
+	}
+	for si := range f.sizes {
+		data, err := os.ReadFile(filepath.Join(f.dir, segName(si)))
+		if err != nil {
+			return fmt.Errorf("blockstore: scanning segment %d: %w", si, err)
+		}
+		// Scan only the committed prefix; an in-flight append past it is
+		// not yet visible.
+		if int64(len(data)) > f.sizes[si] {
+			data = data[:f.sizes[si]]
+		}
+		off := uint64(0)
+		for off < uint64(len(data)) {
+			payload, n, err := decodeFrame(data[off:])
+			if err != nil {
+				return fmt.Errorf("segment %d offset %d: %w", si, off, err)
+			}
+			if err := fn(Ref{Segment: uint32(si), Offset: off}, payload); err != nil {
+				return err
+			}
+			off += uint64(n)
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (f *File) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.count
+}
+
+// StorageBytes implements Store.
+func (f *File) StorageBytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var total int64
+	for _, s := range f.sizes {
+		total += s
+	}
+	return total
+}
+
+// Sync implements Store.
+func (f *File) Sync() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return ErrClosed
+	}
+	if err := f.active.Sync(); err != nil {
+		return fmt.Errorf("blockstore: sync: %w", err)
+	}
+	return nil
+}
+
+// Close implements Store.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.active.Close(); err != nil {
+		return fmt.Errorf("blockstore: close: %w", err)
+	}
+	return nil
+}
+
+// Dir returns the directory holding the segments, used by the attack
+// injector to corrupt files out-of-band.
+func (f *File) Dir() string { return f.dir }
+
+// ReadRaw reads the raw bytes of all segments concatenated, for the
+// residual-plaintext probe. It bypasses frame validation deliberately.
+func (f *File) ReadRaw() ([]byte, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	var out []byte
+	for si := range f.sizes {
+		data, err := os.ReadFile(filepath.Join(f.dir, segName(si)))
+		if err != nil {
+			return nil, fmt.Errorf("blockstore: raw read of segment %d: %w", si, err)
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+var _ io.Closer = (*File)(nil)

@@ -1,0 +1,211 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Memory is an in-memory Store used by tests and benchmarks. It keeps the
+// same segment/frame structure as the file store so the attack injector can
+// corrupt raw bytes through RawSegment the same way it corrupts files.
+type Memory struct {
+	mu       sync.RWMutex
+	segments [][]byte
+	segCap   int
+	count    int
+	closed   bool
+}
+
+var _ Store = (*Memory)(nil)
+
+// NewMemory returns an in-memory store with the given segment capacity in
+// bytes (0 means a 4 MiB default).
+func NewMemory(segCap int) *Memory {
+	if segCap <= 0 {
+		segCap = 4 << 20
+	}
+	return &Memory{segments: [][]byte{nil}, segCap: segCap}
+}
+
+// Append implements Store.
+func (m *Memory) Append(data []byte) (Ref, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Ref{}, ErrClosed
+	}
+	frame := encodeFrame(data)
+	if len(frame) > m.segCap {
+		return Ref{}, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(frame), m.segCap)
+	}
+	cur := len(m.segments) - 1
+	if len(m.segments[cur])+len(frame) > m.segCap {
+		m.segments = append(m.segments, nil)
+		cur++
+	}
+	ref := Ref{Segment: uint32(cur), Offset: uint64(len(m.segments[cur]))}
+	m.segments[cur] = append(m.segments[cur], frame...)
+	m.count++
+	return ref, nil
+}
+
+// Read implements Store.
+func (m *Memory) Read(ref Ref) ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if int(ref.Segment) >= len(m.segments) {
+		return nil, fmt.Errorf("%w: segment %d", ErrNotFound, ref.Segment)
+	}
+	seg := m.segments[ref.Segment]
+	if ref.Offset >= uint64(len(seg)) {
+		return nil, fmt.Errorf("%w: offset %d beyond segment end %d", ErrNotFound, ref.Offset, len(seg))
+	}
+	data, _, err := decodeFrame(seg[ref.Offset:])
+	return data, err
+}
+
+// Scan implements Store.
+func (m *Memory) Scan(fn func(ref Ref, data []byte) error) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	for si, seg := range m.segments {
+		off := uint64(0)
+		for off < uint64(len(seg)) {
+			data, n, err := decodeFrame(seg[off:])
+			if err != nil {
+				return fmt.Errorf("segment %d offset %d: %w", si, off, err)
+			}
+			if err := fn(Ref{Segment: uint32(si), Offset: off}, data); err != nil {
+				return err
+			}
+			off += uint64(n)
+		}
+	}
+	return nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.count
+}
+
+// StorageBytes implements Store.
+func (m *Memory) StorageBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, seg := range m.segments {
+		total += int64(len(seg))
+	}
+	return total
+}
+
+// Sync implements Store (a no-op for memory).
+func (m *Memory) Sync() error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// CorruptFrame models a format-aware insider with direct disk access: it
+// rewrites the payload of the frame at ref in place — applying mutate to the
+// payload and recomputing a *valid* CRC — so the tampering cannot be caught
+// by the framing layer, only by cryptographic verification above it. mutate
+// must return a payload of the same length (in-place disk edits cannot grow
+// a frame).
+func (m *Memory) CorruptFrame(ref Ref, mutate func([]byte) []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if int(ref.Segment) >= len(m.segments) {
+		return fmt.Errorf("%w: segment %d", ErrNotFound, ref.Segment)
+	}
+	seg := m.segments[ref.Segment]
+	if ref.Offset >= uint64(len(seg)) {
+		return fmt.Errorf("%w: offset %d", ErrNotFound, ref.Offset)
+	}
+	payload, n, err := decodeFrame(seg[ref.Offset:])
+	if err != nil {
+		return err
+	}
+	mutated := mutate(payload)
+	if len(mutated) != len(payload) {
+		return fmt.Errorf("blockstore: CorruptFrame must preserve length: %d != %d", len(mutated), len(payload))
+	}
+	frame := encodeFrame(mutated)
+	copy(seg[ref.Offset:ref.Offset+uint64(n)], frame)
+	return nil
+}
+
+// RawSegment exposes a segment's raw bytes for the attack injector and the
+// residual-plaintext probe. Mutating the returned slice corrupts the store,
+// which is exactly what the insider-attack experiments do.
+func (m *Memory) RawSegment(i int) []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if i < 0 || i >= len(m.segments) {
+		return nil
+	}
+	return m.segments[i]
+}
+
+// SegmentCount returns the number of segments.
+func (m *Memory) SegmentCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.segments)
+}
+
+func encodeFrame(data []byte) []byte {
+	frame := make([]byte, frameOverhead+len(data))
+	frame[0] = frameMagic
+	binary.BigEndian.PutUint32(frame[1:5], uint32(len(data)))
+	binary.BigEndian.PutUint32(frame[5:9], checksum(data))
+	copy(frame[frameOverhead:], data)
+	return frame
+}
+
+// decodeFrame parses one frame from the front of b, returning a copy of the
+// payload and the total frame length consumed.
+func decodeFrame(b []byte) ([]byte, int, error) {
+	if len(b) < frameOverhead {
+		return nil, 0, fmt.Errorf("%w: truncated frame header", ErrCorrupt)
+	}
+	if b[0] != frameMagic {
+		return nil, 0, fmt.Errorf("%w: bad frame magic 0x%02x", ErrCorrupt, b[0])
+	}
+	n := binary.BigEndian.Uint32(b[1:5])
+	crc := binary.BigEndian.Uint32(b[5:9])
+	if uint64(frameOverhead)+uint64(n) > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("%w: frame length %d overruns segment", ErrCorrupt, n)
+	}
+	payload := b[frameOverhead : frameOverhead+int(n)]
+	if checksum(payload) != crc {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	out := make([]byte, n)
+	copy(out, payload)
+	return out, frameOverhead + int(n), nil
+}

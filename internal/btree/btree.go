@@ -1,0 +1,409 @@
+// Package btree implements an in-memory B-tree with ordered iteration and
+// full deletion support. It is the indexing substrate for the relational
+// baseline store (primary-key index) and for ordered scans elsewhere.
+//
+// The implementation is a textbook B-tree of minimum degree t: every node
+// except the root holds between t-1 and 2t-1 keys, all leaves are at the
+// same depth, and mutations rebalance on the way down (preemptive split on
+// insert, preemptive fill on delete), so no parent pointers are needed.
+package btree
+
+import (
+	"cmp"
+	"fmt"
+)
+
+// MinDegree is the smallest legal minimum degree.
+const MinDegree = 2
+
+// Tree is a B-tree mapping ordered keys to values. It is not safe for
+// concurrent mutation; callers wrap it in their own lock (the reldb store
+// holds one lock for heap + index, which keeps the two consistent).
+type Tree[K cmp.Ordered, V any] struct {
+	root *node[K, V]
+	t    int // minimum degree
+	size int
+}
+
+type node[K cmp.Ordered, V any] struct {
+	keys     []K
+	vals     []V
+	children []*node[K, V] // nil for leaves
+}
+
+func (n *node[K, V]) leaf() bool { return n.children == nil }
+
+// New returns an empty tree with the given minimum degree (use MinDegree or
+// higher; 32 is a good default for string keys). It panics on an invalid
+// degree: that is a programming error, not a runtime condition.
+func New[K cmp.Ordered, V any](t int) *Tree[K, V] {
+	if t < MinDegree {
+		panic(fmt.Sprintf("btree: minimum degree %d < %d", t, MinDegree))
+	}
+	return &Tree[K, V]{root: &node[K, V]{}, t: t}
+}
+
+// Len returns the number of keys.
+func (tr *Tree[K, V]) Len() int { return tr.size }
+
+// Get returns the value for key and whether it exists.
+func (tr *Tree[K, V]) Get(key K) (V, bool) {
+	n := tr.root
+	for {
+		i, eq := n.search(key)
+		if eq {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// search returns the index of the first key >= key, and whether it equals key.
+func (n *node[K, V]) search(key K) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && n.keys[lo] == key
+}
+
+// Put inserts or replaces the value for key, reporting whether the key was
+// newly inserted.
+func (tr *Tree[K, V]) Put(key K, val V) bool {
+	if len(tr.root.keys) == 2*tr.t-1 {
+		old := tr.root
+		tr.root = &node[K, V]{children: []*node[K, V]{old}}
+		tr.root.splitChild(0, tr.t)
+	}
+	inserted := tr.root.insertNonFull(key, val, tr.t)
+	if inserted {
+		tr.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child at index i, hoisting its median into n.
+func (n *node[K, V]) splitChild(i, t int) {
+	child := n.children[i]
+	right := &node[K, V]{
+		keys: append([]K(nil), child.keys[t:]...),
+		vals: append([]V(nil), child.vals[t:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*node[K, V](nil), child.children[t:]...)
+		child.children = child.children[:t]
+	}
+	medianKey, medianVal := child.keys[t-1], child.vals[t-1]
+	child.keys = child.keys[:t-1]
+	child.vals = child.vals[:t-1]
+
+	n.keys = append(n.keys, medianKey)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = medianKey
+	n.vals = append(n.vals, medianVal)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = medianVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+func (n *node[K, V]) insertNonFull(key K, val V, t int) bool {
+	for {
+		i, eq := n.search(key)
+		if eq {
+			n.vals[i] = val
+			return false
+		}
+		if n.leaf() {
+			var zk K
+			var zv V
+			n.keys = append(n.keys, zk)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.vals = append(n.vals, zv)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = val
+			return true
+		}
+		if len(n.children[i].keys) == 2*t-1 {
+			n.splitChild(i, t)
+			if key == n.keys[i] {
+				n.vals[i] = val
+				return false
+			}
+			if key > n.keys[i] {
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (tr *Tree[K, V]) Delete(key K) bool {
+	deleted := tr.root.delete(key, tr.t)
+	if !tr.root.leaf() && len(tr.root.keys) == 0 {
+		tr.root = tr.root.children[0]
+	}
+	if deleted {
+		tr.size--
+	}
+	return deleted
+}
+
+// delete removes key from the subtree rooted at n. The caller guarantees n
+// has at least t keys (or is the root), the standard preemptive invariant.
+func (n *node[K, V]) delete(key K, t int) bool {
+	i, eq := n.search(key)
+	switch {
+	case eq && n.leaf():
+		n.removeAt(i)
+		return true
+	case eq:
+		return n.deleteInternal(i, t)
+	case n.leaf():
+		return false
+	default:
+		return n.descendDelete(i, key, t)
+	}
+}
+
+// deleteInternal removes the key at index i of an internal node.
+func (n *node[K, V]) deleteInternal(i, t int) bool {
+	key := n.keys[i]
+	switch {
+	case len(n.children[i].keys) >= t:
+		// Replace with predecessor and delete it from the left subtree.
+		pk, pv := n.children[i].max()
+		n.keys[i], n.vals[i] = pk, pv
+		return n.descendDelete(i, pk, t)
+	case len(n.children[i+1].keys) >= t:
+		sk, sv := n.children[i+1].min()
+		n.keys[i], n.vals[i] = sk, sv
+		return n.descendDelete(i+1, sk, t)
+	default:
+		// Merge the two t-1 children around the key, then recurse.
+		n.mergeChildren(i)
+		return n.descendDelete(i, key, t)
+	}
+}
+
+// descendDelete ensures child i has >= t keys, then deletes key from it.
+func (n *node[K, V]) descendDelete(i int, key K, t int) bool {
+	child := n.children[i]
+	if len(child.keys) < t {
+		switch {
+		case i > 0 && len(n.children[i-1].keys) >= t:
+			n.rotateRight(i)
+		case i < len(n.children)-1 && len(n.children[i+1].keys) >= t:
+			n.rotateLeft(i)
+		case i > 0:
+			i--
+			n.mergeChildren(i)
+			child = n.children[i]
+		default:
+			n.mergeChildren(i)
+		}
+		child = n.children[i]
+	}
+	return child.delete(key, t)
+}
+
+// rotateRight moves a key from child i-1 through the separator into child i.
+func (n *node[K, V]) rotateRight(i int) {
+	left, child := n.children[i-1], n.children[i]
+	var zk K
+	var zv V
+	child.keys = append(child.keys, zk)
+	copy(child.keys[1:], child.keys)
+	child.keys[0] = n.keys[i-1]
+	child.vals = append(child.vals, zv)
+	copy(child.vals[1:], child.vals)
+	child.vals[0] = n.vals[i-1]
+	n.keys[i-1] = left.keys[len(left.keys)-1]
+	n.vals[i-1] = left.vals[len(left.vals)-1]
+	left.keys = left.keys[:len(left.keys)-1]
+	left.vals = left.vals[:len(left.vals)-1]
+	if !child.leaf() {
+		child.children = append(child.children, nil)
+		copy(child.children[1:], child.children)
+		child.children[0] = left.children[len(left.children)-1]
+		left.children = left.children[:len(left.children)-1]
+	}
+}
+
+// rotateLeft moves a key from child i+1 through the separator into child i.
+func (n *node[K, V]) rotateLeft(i int) {
+	child, right := n.children[i], n.children[i+1]
+	child.keys = append(child.keys, n.keys[i])
+	child.vals = append(child.vals, n.vals[i])
+	n.keys[i] = right.keys[0]
+	n.vals[i] = right.vals[0]
+	right.keys = right.keys[1:]
+	right.vals = right.vals[1:]
+	if !child.leaf() {
+		child.children = append(child.children, right.children[0])
+		right.children = right.children[1:]
+	}
+}
+
+// mergeChildren merges child i, separator key i, and child i+1.
+func (n *node[K, V]) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.keys = append(left.keys, right.keys...)
+	left.vals = append(left.vals, n.vals[i])
+	left.vals = append(left.vals, right.vals...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.removeAt(i)
+	copy(n.children[i+1:], n.children[i+2:])
+	n.children = n.children[:len(n.children)-1]
+}
+
+// removeAt deletes key/value i from the node (not its children).
+func (n *node[K, V]) removeAt(i int) {
+	copy(n.keys[i:], n.keys[i+1:])
+	n.keys = n.keys[:len(n.keys)-1]
+	copy(n.vals[i:], n.vals[i+1:])
+	n.vals = n.vals[:len(n.vals)-1]
+}
+
+func (n *node[K, V]) min() (K, V) {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.keys[0], n.vals[0]
+}
+
+func (n *node[K, V]) max() (K, V) {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.keys[len(n.keys)-1], n.vals[len(n.vals)-1]
+}
+
+// Ascend calls fn for every key in ascending order until fn returns false.
+func (tr *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	tr.root.ascend(fn)
+}
+
+func (n *node[K, V]) ascend(fn func(K, V) bool) bool {
+	for i, k := range n.keys {
+		if !n.leaf() && !n.children[i].ascend(fn) {
+			return false
+		}
+		if !fn(k, n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(fn)
+	}
+	return true
+}
+
+// AscendRange calls fn for keys in [lo, hi) in ascending order until fn
+// returns false.
+func (tr *Tree[K, V]) AscendRange(lo, hi K, fn func(key K, val V) bool) {
+	tr.root.ascendRange(lo, hi, fn)
+}
+
+func (n *node[K, V]) ascendRange(lo, hi K, fn func(K, V) bool) bool {
+	i, _ := n.search(lo)
+	for ; i < len(n.keys); i++ {
+		if !n.leaf() && !n.children[i].ascendRange(lo, hi, fn) {
+			return false
+		}
+		if n.keys[i] >= hi {
+			return true
+		}
+		if n.keys[i] >= lo && !fn(n.keys[i], n.vals[i]) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascendRange(lo, hi, fn)
+	}
+	return true
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (tr *Tree[K, V]) Min() (K, V, bool) {
+	if tr.size == 0 {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	k, v := tr.root.min()
+	return k, v, true
+}
+
+// Max returns the largest key, or ok=false when empty.
+func (tr *Tree[K, V]) Max() (K, V, bool) {
+	if tr.size == 0 {
+		var zk K
+		var zv V
+		return zk, zv, false
+	}
+	k, v := tr.root.max()
+	return k, v, true
+}
+
+// checkInvariants validates B-tree structural invariants, used by tests.
+func (tr *Tree[K, V]) checkInvariants() error {
+	_, err := tr.root.check(tr.t, true)
+	if err != nil {
+		return err
+	}
+	n := 0
+	tr.Ascend(func(K, V) bool { n++; return true })
+	if n != tr.size {
+		return fmt.Errorf("btree: size %d but %d keys iterated", tr.size, n)
+	}
+	return nil
+}
+
+func (n *node[K, V]) check(t int, isRoot bool) (int, error) {
+	if !isRoot && len(n.keys) < t-1 {
+		return 0, fmt.Errorf("btree: node underflow: %d keys", len(n.keys))
+	}
+	if len(n.keys) > 2*t-1 {
+		return 0, fmt.Errorf("btree: node overflow: %d keys", len(n.keys))
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if n.keys[i-1] >= n.keys[i] {
+			return 0, fmt.Errorf("btree: keys out of order at %d", i)
+		}
+	}
+	if n.leaf() {
+		return 1, nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return 0, fmt.Errorf("btree: %d children for %d keys", len(n.children), len(n.keys))
+	}
+	depth := -1
+	for _, c := range n.children {
+		d, err := c.check(t, false)
+		if err != nil {
+			return 0, err
+		}
+		if depth == -1 {
+			depth = d
+		} else if d != depth {
+			return 0, fmt.Errorf("btree: uneven leaf depth")
+		}
+	}
+	return depth + 1, nil
+}

@@ -1,0 +1,284 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	tr := New[string, int](2)
+	if _, ok := tr.Get("missing"); ok {
+		t.Error("Get on empty tree returned ok")
+	}
+	for i := 0; i < 100; i++ {
+		if !tr.Put(fmt.Sprintf("k%03d", i), i) {
+			t.Fatalf("Put k%03d reported replace", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := tr.Get(fmt.Sprintf("k%03d", i))
+		if !ok || v != i {
+			t.Fatalf("Get k%03d = %d,%v", i, v, ok)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New[string, string](3)
+	tr.Put("a", "1")
+	if tr.Put("a", "2") {
+		t.Error("replace reported as insert")
+	}
+	if v, _ := tr.Get("a"); v != "2" {
+		t.Errorf("value = %q, want 2", v)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+}
+
+func TestReplaceAtSplitMedian(t *testing.T) {
+	// Regression guard: replacing a key that is hoisted as the median
+	// during a preemptive split must not double-insert.
+	tr := New[int, int](2)
+	for i := 0; i < 20; i++ {
+		tr.Put(i, i)
+	}
+	before := tr.Len()
+	for i := 0; i < 20; i++ {
+		if tr.Put(i, i*10) {
+			t.Fatalf("Put(%d) reported insert on replace", i)
+		}
+	}
+	if tr.Len() != before {
+		t.Errorf("Len changed on replace: %d -> %d", before, tr.Len())
+	}
+	for i := 0; i < 20; i++ {
+		if v, _ := tr.Get(i); v != i*10 {
+			t.Fatalf("Get(%d) = %d, want %d", i, v, i*10)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int, int](2)
+	const n = 200
+	for i := 0; i < n; i++ {
+		tr.Put(i, i)
+	}
+	// Delete evens.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(i) {
+			t.Fatalf("Delete(%d) = false", i)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after Delete(%d): %v", i, err)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) ok=%v, want %v", i, ok, want)
+		}
+	}
+	if tr.Delete(0) {
+		t.Error("deleting absent key returned true")
+	}
+}
+
+func TestDeleteAllRandomOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int, int](3)
+	perm := rng.Perm(500)
+	for _, k := range perm {
+		tr.Put(k, k)
+	}
+	perm2 := rng.Perm(500)
+	for idx, k := range perm2 {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) = false", k)
+		}
+		if idx%37 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after %d deletions: %v", idx+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New[int, int](4)
+	for _, k := range rng.Perm(300) {
+		tr.Put(k, k*2)
+	}
+	var got []int
+	tr.Ascend(func(k, v int) bool {
+		if v != k*2 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 300 {
+		t.Fatalf("iterated %d keys, want 300", len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Error("Ascend not in order")
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int, int](2)
+	for i := 0; i < 50; i++ {
+		tr.Put(i, i)
+	}
+	n := 0
+	tr.Ascend(func(k, v int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("visited %d keys, want 10", n)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int, string](2)
+	for i := 0; i < 100; i += 2 { // evens only
+		tr.Put(i, fmt.Sprint(i))
+	}
+	var got []int
+	tr.AscendRange(13, 41, func(k int, v string) bool {
+		got = append(got, k)
+		return true
+	})
+	var want []int
+	for i := 14; i < 41; i += 2 {
+		want = append(want, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("range got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range got %v, want %v", got, want)
+		}
+	}
+	// Empty range.
+	count := 0
+	tr.AscendRange(41, 13, func(int, string) bool { count++; return true })
+	if count != 0 {
+		t.Errorf("inverted range visited %d keys", count)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[string, int](2)
+	if _, _, ok := tr.Min(); ok {
+		t.Error("Min on empty tree ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Error("Max on empty tree ok")
+	}
+	for _, k := range []string{"m", "c", "z", "a", "q"} {
+		tr.Put(k, 0)
+	}
+	if k, _, _ := tr.Min(); k != "a" {
+		t.Errorf("Min = %q", k)
+	}
+	if k, _, _ := tr.Max(); k != "z" {
+		t.Errorf("Max = %q", k)
+	}
+}
+
+func TestNewPanicsOnBadDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(1) did not panic")
+		}
+	}()
+	New[int, int](1)
+}
+
+// TestAgainstMapOracle drives random operations against a map oracle.
+func TestAgainstMapOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		degree := 2 + rng.Intn(6)
+		tr := New[int, int](degree)
+		oracle := make(map[int]int)
+		for op := 0; op < 400; op++ {
+			k := rng.Intn(120)
+			switch rng.Intn(3) {
+			case 0, 1:
+				v := rng.Int()
+				_, existed := oracle[k]
+				if tr.Put(k, v) != !existed {
+					return false
+				}
+				oracle[k] = v
+			case 2:
+				_, existed := oracle[k]
+				if tr.Delete(k) != existed {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		if tr.Len() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return tr.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New[int, int](32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(i, i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New[int, int](32)
+	for i := 0; i < 100000; i++ {
+		tr.Put(i, i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i % 100000)
+	}
+}

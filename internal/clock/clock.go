@@ -1,0 +1,64 @@
+// Package clock provides an injectable time source.
+//
+// Regulatory retention logic (OSHA's 30-year minimum, HIPAA disposition
+// schedules) is pure time arithmetic. Production code uses the system clock;
+// tests and the retention experiments use a virtual clock that can be advanced
+// by decades without waiting.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts a time source.
+type Clock interface {
+	// Now returns the current time in UTC.
+	Now() time.Time
+}
+
+// System is a Clock backed by the wall clock.
+type System struct{}
+
+// Now implements Clock.
+func (System) Now() time.Time { return time.Now().UTC() }
+
+// Virtual is a manually advanced Clock, safe for concurrent use.
+// The zero value is not usable; construct with NewVirtual.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtual returns a Virtual clock frozen at start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start.UTC()}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored: a compliance clock never runs backwards.
+func (v *Virtual) Advance(d time.Duration) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d > 0 {
+		v.now = v.now.Add(d)
+	}
+	return v.now
+}
+
+// Set jumps the clock to t if t is later than the current virtual time.
+func (v *Virtual) Set(t time.Time) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t.UTC()
+	}
+	return v.now
+}

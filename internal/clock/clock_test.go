@@ -1,0 +1,76 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemNowIsUTC(t *testing.T) {
+	now := System{}.Now()
+	if now.Location() != time.UTC {
+		t.Errorf("System.Now not UTC: %v", now.Location())
+	}
+	if time.Since(now) > time.Minute {
+		t.Error("System.Now far in the past")
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	vc := NewVirtual(start)
+	if !vc.Now().Equal(start) {
+		t.Errorf("Now = %v, want %v", vc.Now(), start)
+	}
+	got := vc.Advance(30 * 365 * 24 * time.Hour) // an OSHA retention period
+	if want := start.Add(30 * 365 * 24 * time.Hour); !got.Equal(want) {
+		t.Errorf("Advance = %v, want %v", got, want)
+	}
+	// Negative advances are ignored: compliance clocks never run backwards.
+	before := vc.Now()
+	vc.Advance(-time.Hour)
+	if !vc.Now().Equal(before) {
+		t.Error("clock ran backwards")
+	}
+}
+
+func TestVirtualSet(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	vc := NewVirtual(start)
+	later := start.Add(time.Hour)
+	if got := vc.Set(later); !got.Equal(later) {
+		t.Errorf("Set = %v", got)
+	}
+	// Setting an earlier time is ignored.
+	if got := vc.Set(start); !got.Equal(later) {
+		t.Errorf("Set backwards = %v", got)
+	}
+}
+
+func TestVirtualNormalizesToUTC(t *testing.T) {
+	est := time.FixedZone("EST", -5*3600)
+	vc := NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, est))
+	if vc.Now().Location() != time.UTC {
+		t.Error("Virtual did not normalize to UTC")
+	}
+}
+
+func TestVirtualConcurrent(t *testing.T) {
+	vc := NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				vc.Advance(time.Second)
+				vc.Now()
+			}
+		}()
+	}
+	wg.Wait()
+	want := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).Add(800 * time.Second)
+	if !vc.Now().Equal(want) {
+		t.Errorf("after concurrent advances: %v, want %v", vc.Now(), want)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"medvault/internal/authz"
+	"medvault/internal/blockstore"
+	"medvault/internal/ehr"
+	"medvault/internal/stores"
+)
+
+// Adapter presents a Vault through the stores.Store interface so the
+// experiment harness can compare it head-to-head with the Section-4
+// baselines. It runs every operation as a single fully privileged principal
+// ("bench-admin") — the baselines have no access control, so giving the
+// vault an always-authorized actor keeps the comparison about the storage
+// models, with the vault still paying its own authorization and audit costs
+// on every call.
+type Adapter struct {
+	v     *Vault
+	actor string
+}
+
+var (
+	_ stores.Store      = (*Adapter)(nil)
+	_ stores.Tamperable = (*Adapter)(nil)
+)
+
+// NewAdapter wraps v, registering a fully privileged bench principal.
+func NewAdapter(v *Vault) (*Adapter, error) {
+	const actor = "bench-admin"
+	a := v.Authz()
+	a.DefineRole(authz.NewRole("bench-all-access", []authz.Action{
+		authz.ActRead, authz.ActWrite, authz.ActCorrect, authz.ActSearch,
+		authz.ActShred, authz.ActMigrate, authz.ActBackup, authz.ActAudit,
+	}))
+	if err := a.AddPrincipal(actor, "bench-all-access"); err != nil {
+		return nil, err
+	}
+	return &Adapter{v: v, actor: actor}, nil
+}
+
+// Name implements stores.Store.
+func (a *Adapter) Name() string { return "medvault" }
+
+// Put implements stores.Store.
+func (a *Adapter) Put(rec ehr.Record) error {
+	_, err := a.v.Put(a.actor, rec)
+	if err != nil {
+		return mapErr(err)
+	}
+	return nil
+}
+
+// Get implements stores.Store.
+func (a *Adapter) Get(id string) (ehr.Record, error) {
+	rec, _, err := a.v.Get(a.actor, id)
+	return rec, mapErr(err)
+}
+
+// Correct implements stores.Store.
+func (a *Adapter) Correct(rec ehr.Record) error {
+	_, err := a.v.Correct(a.actor, rec)
+	return mapErr(err)
+}
+
+// Search implements stores.Store.
+func (a *Adapter) Search(keyword string) ([]string, error) {
+	return a.v.Search(a.actor, keyword)
+}
+
+// Dispose implements stores.Store.
+func (a *Adapter) Dispose(id string) error {
+	return mapErr(a.v.Shred(a.actor, id))
+}
+
+// Verify implements stores.Store.
+func (a *Adapter) Verify() error {
+	if _, err := a.v.VerifyAll(nil, nil); err != nil {
+		return fmt.Errorf("%w: %v", stores.ErrTampered, err)
+	}
+	return nil
+}
+
+// Len implements stores.Store.
+func (a *Adapter) Len() int { return a.v.Len() }
+
+// StorageBytes implements stores.Store.
+func (a *Adapter) StorageBytes() int64 { return a.v.StorageBytes() }
+
+// RawBytes implements stores.Store: the ciphertext log plus the SSE index's
+// stored form — the at-rest attack surface.
+func (a *Adapter) RawBytes() []byte {
+	mem, ok := a.v.blocks.(*blockstore.Memory)
+	if !ok {
+		raw, err := a.v.blocks.(*blockstore.File).ReadRaw()
+		if err != nil {
+			return nil
+		}
+		if snap, err := a.v.idx.Snapshot(); err == nil {
+			raw = append(raw, snap...)
+		}
+		return raw
+	}
+	var out []byte
+	for i := 0; i < mem.SegmentCount(); i++ {
+		out = append(out, mem.RawSegment(i)...)
+	}
+	if snap, err := a.v.idx.Snapshot(); err == nil {
+		out = append(out, snap...)
+	}
+	return out
+}
+
+// TamperRecord implements stores.Tamperable on memory-backed vaults: a
+// format-aware insider rewrites the latest version's ciphertext in place
+// with a valid CRC.
+func (a *Adapter) TamperRecord(id string, mutate func([]byte) []byte) error {
+	mem, ok := a.v.blocks.(*blockstore.Memory)
+	if !ok {
+		return fmt.Errorf("core: TamperRecord requires a memory-backed vault")
+	}
+	a.v.mu.RLock()
+	st, err := a.v.stateFor(id)
+	var ref blockstore.Ref
+	if err == nil {
+		ref = st.versions[len(st.versions)-1].Ref
+	}
+	a.v.mu.RUnlock()
+	if err != nil {
+		return mapErr(err)
+	}
+	return mem.CorruptFrame(ref, mutate)
+}
+
+// RollbackMetadata models the insider who edits the vault's metadata to
+// hide the latest correction (truncating the version list). VerifyAll must
+// catch it via the commitment-log size check.
+func (a *Adapter) RollbackMetadata(id string) error {
+	a.v.mu.Lock()
+	defer a.v.mu.Unlock()
+	st, ok := a.v.records[id]
+	if !ok || len(st.versions) < 2 {
+		return fmt.Errorf("%w: %s has no correction to hide", stores.ErrNotFound, id)
+	}
+	st.versions = st.versions[:len(st.versions)-1]
+	return nil
+}
+
+// Vault returns the wrapped vault for probes needing the full API.
+func (a *Adapter) Vault() *Vault { return a.v }
+
+// mapErr translates core sentinels to the stores package's vocabulary where
+// a direct counterpart exists, so the harness can switch on one error set.
+func mapErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrExists):
+		return fmt.Errorf("%w: %v", stores.ErrExists, err)
+	case errors.Is(err, ErrNotFound):
+		return fmt.Errorf("%w: %v", stores.ErrNotFound, err)
+	case errors.Is(err, ErrTampered):
+		return fmt.Errorf("%w: %v", stores.ErrTampered, err)
+	default:
+		return err
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+)
+
+// Disclosure is one access to a patient's EPHI, as reconstructed from the
+// tamper-evident audit trail for a HIPAA §164.528 "accounting of
+// disclosures" request.
+type Disclosure struct {
+	Timestamp  time.Time
+	Actor      string
+	Action     audit.Action
+	Record     string
+	Version    uint64
+	Outcome    audit.Outcome
+	BreakGlass bool // the access rode an emergency grant
+}
+
+// AccountingOfDisclosures answers a patient's (or their representative's)
+// statutory request: every access to every record carrying the patient's
+// MRN, in chronological order, reconstructed from the audit chain. Denied
+// attempts are included — a patient is entitled to know who *tried*.
+//
+// The query requires audit permission and is itself audited.
+func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error) {
+	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
+		return nil, err
+	}
+	if mrn == "" {
+		return nil, fmt.Errorf("core: empty MRN")
+	}
+	// Collect the patient's record IDs (shredded ones included: the access
+	// history of a destroyed record is still disclosable).
+	v.mu.RLock()
+	recordSet := make(map[string]bool)
+	for id, st := range v.records {
+		if st.mrn == mrn {
+			recordSet[id] = true
+		}
+	}
+	v.mu.RUnlock()
+	if len(recordSet) == 0 {
+		return nil, fmt.Errorf("%w: no records for MRN %s", ErrNotFound, mrn)
+	}
+
+	// Mark events that happened under break-glass: the grant's elevated
+	// accesses carry a paired break-glass audit event at the same (actor,
+	// record, seq+1) — we detect them via the explicit ActionBreakGlass
+	// entries referencing the record.
+	events := v.aud.Search(audit.Query{})
+	breakGlassSeqs := make(map[uint64]bool)
+	for _, e := range events {
+		if e.Action == audit.ActionBreakGlass && e.Record != "" {
+			// The elevated operation is the immediately preceding event by
+			// the same actor on the same record.
+			breakGlassSeqs[e.Seq-1] = true
+		}
+	}
+	var out []Disclosure
+	for _, e := range events {
+		if !recordSet[e.Record] {
+			continue
+		}
+		switch e.Action {
+		case audit.ActionRead, audit.ActionCreate, audit.ActionCorrect,
+			audit.ActionDelete, audit.ActionMigrateOut, audit.ActionMigrateIn,
+			audit.ActionBackup, audit.ActionRestore:
+			out = append(out, Disclosure{
+				Timestamp:  e.Timestamp,
+				Actor:      e.Actor,
+				Action:     e.Action,
+				Record:     e.Record,
+				Version:    e.Version,
+				Outcome:    e.Outcome,
+				BreakGlass: breakGlassSeqs[e.Seq],
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+	return out, nil
+}
+
+// PatientRecords returns the record IDs carrying the patient's MRN that the
+// actor is permitted to read — the entry point for a patient-access request
+// (HIPAA right of access, the paper's "individuals have the right to
+// request correction" precondition).
+func (v *Vault) PatientRecords(actor, mrn string) ([]string, error) {
+	v.mu.RLock()
+	type cand struct {
+		id  string
+		cat string
+	}
+	var cands []cand
+	for id, st := range v.records {
+		if st.mrn == mrn && !st.shredded {
+			cands = append(cands, cand{id, string(st.category)})
+		}
+	}
+	v.mu.RUnlock()
+	var out []string
+	for _, c := range cands {
+		if v.auth.Check(actor, authz.ActRead, c.cat).Allowed {
+			out = append(out, c.id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+	"medvault/internal/ehr"
+	"medvault/internal/provenance"
+	"medvault/internal/vcrypto"
+)
+
+// ExportedVersion is one decrypted version of a record prepared for
+// migration or backup. The plaintext leaves the vault only through Export,
+// which demands migrate/backup permission and audits the extraction.
+type ExportedVersion struct {
+	Record    ehr.Record
+	Version   Version // metadata as committed at the source (Ref is source-local)
+	PlainHash [32]byte
+}
+
+// ExportBundle carries one record's full history and custody chain.
+type ExportBundle struct {
+	ID       string
+	Category ehr.Category
+	Versions []ExportedVersion
+	Custody  []provenance.Event
+}
+
+// Export decrypts the record's full version history for transfer. The
+// export is audited; migration bookkeeping (custody events, manifest
+// signatures) is the migrate package's job.
+func (v *Vault) Export(actor, id string) (ExportBundle, error) {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var category string
+	if err == nil {
+		category = string(st.category)
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return ExportBundle{}, err
+	}
+	if err := v.authorize(actor, authz.ActMigrate, audit.ActionMigrateOut, id, 0, category); err != nil {
+		return ExportBundle{}, err
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	st, err = v.stateFor(id)
+	if err != nil {
+		return ExportBundle{}, err
+	}
+	bundle := ExportBundle{ID: id, Category: st.category}
+	for _, ver := range st.versions {
+		rec, err := v.readVersion(id, ver)
+		if err != nil {
+			return ExportBundle{}, fmt.Errorf("core: exporting %s v%d: %w", id, ver.Number, err)
+		}
+		bundle.Versions = append(bundle.Versions, ExportedVersion{
+			Record:    rec,
+			Version:   ver,
+			PlainHash: plainHash(rec),
+		})
+	}
+	custody, err := v.prov.Chain(id)
+	if err != nil {
+		return ExportBundle{}, err
+	}
+	bundle.Custody = custody
+	return bundle, nil
+}
+
+// plainHash is the content commitment used across systems: a hash of the
+// canonical plaintext encoding, so source and target can agree on content
+// even though their ciphertexts differ (different DEKs).
+func plainHash(rec ehr.Record) [32]byte {
+	return vcrypto.Hash(ehr.Encode(rec))
+}
+
+// Import ingests a record history produced by Export on another vault,
+// re-encrypting every version under this vault's keys and adopting the
+// custody chain. The caller (the migrate package) has already verified the
+// manifest; Import re-verifies content hashes anyway — defence in depth.
+func (v *Vault) Import(actor string, bundle ExportBundle, sourceSystem string) error {
+	return v.importAs(actor, bundle, sourceSystem, provenance.EventMigratedIn, audit.ActionMigrateIn)
+}
+
+// ImportRestored ingests a bundle from a verified backup archive; the
+// custody chain gains a restored event instead of a migrated-in one.
+func (v *Vault) ImportRestored(actor string, bundle ExportBundle, sourceSystem string) error {
+	return v.importAs(actor, bundle, sourceSystem, provenance.EventRestored, audit.ActionRestore)
+}
+
+func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string, custodyType provenance.EventType, auditAction audit.Action) error {
+	if len(bundle.Versions) == 0 {
+		return fmt.Errorf("core: bundle for %s has no versions", bundle.ID)
+	}
+	if err := v.authorize(actor, authz.ActMigrate, auditAction, bundle.ID, 0, string(bundle.Category)); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if st, ok := v.records[bundle.ID]; ok {
+		if st.shredded {
+			return fmt.Errorf("%w: %s", ErrShredded, bundle.ID)
+		}
+		return fmt.Errorf("%w: %s", ErrExists, bundle.ID)
+	}
+	for i, ev := range bundle.Versions {
+		if ev.Version.Number != uint64(i)+1 {
+			return fmt.Errorf("core: bundle for %s has non-contiguous versions", bundle.ID)
+		}
+		if plainHash(ev.Record) != ev.PlainHash {
+			return fmt.Errorf("%w: %s v%d content hash mismatch in bundle", ErrTampered, bundle.ID, ev.Version.Number)
+		}
+		if ev.Record.ID != bundle.ID {
+			return fmt.Errorf("%w: bundle mixes records", ErrTampered)
+		}
+	}
+
+	first := bundle.Versions[0].Record
+	if err := v.ret.Track(bundle.ID, string(bundle.Category), first.CreatedAt); err != nil {
+		return fmt.Errorf("core: no retention policy covers imported %s: %w", bundle.ID, err)
+	}
+	dek, err := v.keys.Create(bundle.ID)
+	if err != nil {
+		v.ret.Forget(bundle.ID)
+		return err
+	}
+	wrapped, err := v.keys.WrappedFor(bundle.ID)
+	if err != nil {
+		v.ret.Forget(bundle.ID)
+		return err
+	}
+	st := &recordState{category: bundle.Category, mrn: first.MRN, created: first.CreatedAt.UTC()}
+	for i, ev := range bundle.Versions {
+		wdek := wrapped
+		if i > 0 {
+			wdek = nil
+		}
+		ver, err := v.appendVersion(ev.Record, ev.Version.Author, ev.Version.Number, dek, wdek)
+		if err != nil {
+			v.ret.Forget(bundle.ID)
+			return err
+		}
+		st.versions = append(st.versions, ver)
+	}
+	v.records[bundle.ID] = st
+
+	// Adopt the source's custody chain, then extend it with the arrival.
+	if err := v.prov.Adopt(bundle.Custody); err != nil {
+		return fmt.Errorf("core: adopting custody of %s: %w", bundle.ID, err)
+	}
+	last := st.versions[len(st.versions)-1]
+	if _, err := v.prov.Record(bundle.ID, custodyType, actor, last.CtHash, sourceSystem); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RecordBackedUp extends custody chains with backed-up events after a
+// successful archive write; called by the backup package.
+func (v *Vault) RecordBackedUp(actor, id, destination string) error {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var ctHash [32]byte
+	if err == nil {
+		ctHash = st.versions[len(st.versions)-1].CtHash
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	_, err = v.prov.Record(id, provenance.EventBackedUp, actor, ctHash, destination)
+	return err
+}
+
+// RecordMigratedOut extends the custody chain with a migrated-out event
+// after a successful transfer; called by the migrate package.
+func (v *Vault) RecordMigratedOut(actor, id, targetSystem string) error {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var ctHash [32]byte
+	if err == nil {
+		ctHash = st.versions[len(st.versions)-1].CtHash
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	_, err = v.prov.Record(id, provenance.EventMigratedOut, actor, ctHash, targetSystem)
+	return err
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"medvault/internal/ehr"
+)
+
+func TestExportAuthzAndContent(t *testing.T) {
+	v, _ := newVault(t)
+	g := ehr.NewGenerator(50, testEpoch)
+	var rec ehr.Record
+	for rec = g.Next(); rec.Category != ehr.CategoryClinical; rec = g.Next() {
+	}
+	if _, err := v.Put("dr-house", rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Correct("dr-house", g.Correction(rec)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Physicians cannot export (no migrate permission).
+	if _, err := v.Export("dr-house", rec.ID); !errors.Is(err, ErrDenied) {
+		t.Errorf("physician export: %v", err)
+	}
+	bundle, err := v.Export("arch-lee", rec.ID)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if len(bundle.Versions) != 2 || bundle.Category != rec.Category {
+		t.Errorf("bundle shape: %d versions, %s", len(bundle.Versions), bundle.Category)
+	}
+	if bundle.Versions[0].Record.Body == bundle.Versions[1].Record.Body {
+		t.Error("versions not distinct")
+	}
+	if len(bundle.Custody) != 2 {
+		t.Errorf("custody = %d events", len(bundle.Custody))
+	}
+	if _, err := v.Export("arch-lee", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("export missing: %v", err)
+	}
+}
+
+func TestImportRejectsMalformedBundles(t *testing.T) {
+	src, _ := newVault(t)
+	dst, _ := newVault(t)
+	g := ehr.NewGenerator(51, testEpoch)
+	var rec ehr.Record
+	for rec = g.Next(); rec.Category != ehr.CategoryClinical; rec = g.Next() {
+	}
+	if _, err := src.Put("dr-house", rec); err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := src.Export("arch-lee", rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty bundle.
+	empty := bundle
+	empty.Versions = nil
+	if err := dst.Import("arch-lee", empty, "src"); err == nil {
+		t.Error("empty bundle accepted")
+	}
+	// Non-contiguous versions.
+	gap := bundle
+	gap.Versions = append([]ExportedVersion(nil), bundle.Versions...)
+	gap.Versions[0].Version.Number = 2
+	if err := dst.Import("arch-lee", gap, "src"); err == nil {
+		t.Error("non-contiguous bundle accepted")
+	}
+	// Content hash mismatch.
+	badHash := bundle
+	badHash.Versions = append([]ExportedVersion(nil), bundle.Versions...)
+	badHash.Versions[0].PlainHash[0] ^= 1
+	if err := dst.Import("arch-lee", badHash, "src"); !errors.Is(err, ErrTampered) {
+		t.Errorf("hash-mismatched bundle: %v", err)
+	}
+	// Record/bundle ID mismatch.
+	mixed := bundle
+	mixed.Versions = append([]ExportedVersion(nil), bundle.Versions...)
+	mixed.Versions[0].Record.ID = "other"
+	mixed.Versions[0].PlainHash = plainHash(mixed.Versions[0].Record)
+	if err := dst.Import("arch-lee", mixed, "src"); !errors.Is(err, ErrTampered) {
+		t.Errorf("mixed bundle: %v", err)
+	}
+
+	// The honest bundle imports once, then conflicts.
+	if err := dst.Import("arch-lee", bundle, "src"); err != nil {
+		t.Fatalf("honest import: %v", err)
+	}
+	if err := dst.Import("arch-lee", bundle, "src"); !errors.Is(err, ErrExists) {
+		t.Errorf("double import: %v", err)
+	}
+	// Importer needs permission too.
+	dst2, _ := newVault(t)
+	if err := dst2.Import("dr-house", bundle, "src"); !errors.Is(err, ErrDenied) {
+		t.Errorf("physician import: %v", err)
+	}
+}
+
+func TestVersionCountAndRecordIDs(t *testing.T) {
+	v, _ := newVault(t)
+	g := ehr.NewGenerator(52, testEpoch)
+	var rec ehr.Record
+	for rec = g.Next(); rec.Category != ehr.CategoryClinical; rec = g.Next() {
+	}
+	if _, err := v.Put("dr-house", rec); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := v.VersionCount(rec.ID); err != nil || n != 1 {
+		t.Errorf("VersionCount = %d, %v", n, err)
+	}
+	if _, err := v.Correct("dr-house", g.Correction(rec)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.VersionCount(rec.ID); n != 2 {
+		t.Errorf("VersionCount after correct = %d", n)
+	}
+	if _, err := v.VersionCount("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("VersionCount(ghost): %v", err)
+	}
+	ids := v.RecordIDs()
+	if len(ids) != 1 || ids[0] != rec.ID {
+		t.Errorf("RecordIDs = %v", ids)
+	}
+	if v.Name() == "" || v.StorageBytes() <= 0 {
+		t.Error("Name/StorageBytes trivial accessors broken")
+	}
+}

@@ -1,0 +1,21 @@
+package core
+
+import (
+	"testing"
+
+	"medvault/internal/clock"
+	"medvault/internal/vcrypto"
+)
+
+// mustKey returns a fresh master key or fails the test.
+func mustKey(t *testing.T) vcrypto.Key {
+	t.Helper()
+	k, err := vcrypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// mustClock returns a virtual clock at the test epoch.
+func mustClock() *clock.Virtual { return clock.NewVirtual(testEpoch) }

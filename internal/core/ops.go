@@ -1,0 +1,580 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+	"medvault/internal/ehr"
+	"medvault/internal/provenance"
+	"medvault/internal/vcrypto"
+)
+
+// checkOpen fails fast on a closed vault, before any side effect.
+func (v *Vault) checkOpen() error {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	if v.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// authorize runs the access check and writes the decision — allowed or
+// denied — to the audit log. It returns ErrDenied (already audited) when the
+// actor lacks permission. Break-glass elevations are additionally flagged
+// with their own audit event, so emergency access is always reviewable.
+func (v *Vault) authorize(actor string, act authz.Action, auditAction audit.Action, recordID string, version uint64, category string) error {
+	if err := v.checkOpen(); err != nil {
+		return err
+	}
+	d := v.auth.Check(actor, act, category)
+	outcome := audit.OutcomeAllowed
+	if !d.Allowed {
+		outcome = audit.OutcomeDenied
+	}
+	if _, err := v.aud.Append(audit.Event{
+		Actor:   actor,
+		Action:  auditAction,
+		Record:  recordID,
+		Version: version,
+		Outcome: outcome,
+		Detail:  d.Reason,
+	}); err != nil {
+		return err
+	}
+	if !d.Allowed {
+		return fmt.Errorf("%w: %s %s on %q: %s", ErrDenied, actor, act, recordID, d.Reason)
+	}
+	if d.BreakGlass {
+		if _, err := v.aud.Append(audit.Event{
+			Actor:   actor,
+			Action:  audit.ActionBreakGlass,
+			Record:  recordID,
+			Version: version,
+			Outcome: audit.OutcomeAllowed,
+			Detail:  d.Reason,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stateFor returns the record state, distinguishing missing from shredded.
+func (v *Vault) stateFor(id string) (*recordState, error) {
+	st, ok := v.records[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if st.shredded {
+		return nil, fmt.Errorf("%w: %s", ErrShredded, id)
+	}
+	return st, nil
+}
+
+// appendVersion seals rec under the record's DEK, stores the ciphertext,
+// WAL-logs the metadata, commits to the Merkle log, and re-indexes.
+// Caller holds v.mu and has created the DEK for version 1.
+func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek vcrypto.Key, wrappedDEK []byte) (Version, error) {
+	ct, err := vcrypto.Seal(dek, ehr.Encode(rec), sealAAD(rec.ID, number))
+	if err != nil {
+		return Version{}, fmt.Errorf("core: sealing %s v%d: %w", rec.ID, number, err)
+	}
+	ref, err := v.blocks.Append(ct)
+	if err != nil {
+		return Version{}, fmt.Errorf("core: storing %s v%d: %w", rec.ID, number, err)
+	}
+	ver := Version{
+		Number:    number,
+		Author:    author,
+		Timestamp: v.now(),
+		Ref:       ref,
+		CtHash:    vcrypto.Hash(ct),
+	}
+	if v.metaWAL != nil {
+		if _, err := v.metaWAL.Append(encodeVersionEntry(rec.ID, rec.Category, rec.MRN, ver, rec.CreatedAt, wrappedDEK)); err != nil {
+			return Version{}, fmt.Errorf("core: logging %s v%d: %w", rec.ID, number, err)
+		}
+	}
+	ver.LeafIndex = v.log.Append(leafData(rec.ID, number, ver.CtHash))
+	v.leafSeq++
+	v.idx.Add(rec.ID, rec.SearchText())
+	return ver, nil
+}
+
+// Put stores a new record on behalf of actor. The actor needs write
+// permission for the record's category. The record's own CreatedAt starts
+// its retention clock.
+func (v *Vault) Put(actor string, rec ehr.Record) (Version, error) {
+	if err := rec.Validate(); err != nil {
+		return Version{}, err
+	}
+	if err := v.authorize(actor, authz.ActWrite, audit.ActionCreate, rec.ID, 1, string(rec.Category)); err != nil {
+		return Version{}, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return Version{}, ErrClosed
+	}
+	if st, ok := v.records[rec.ID]; ok {
+		if st.shredded {
+			return Version{}, fmt.Errorf("%w: %s (IDs are never reused)", ErrShredded, rec.ID)
+		}
+		return Version{}, fmt.Errorf("%w: %s", ErrExists, rec.ID)
+	}
+	if err := v.ret.Track(rec.ID, string(rec.Category), rec.CreatedAt); err != nil {
+		return Version{}, fmt.Errorf("core: no retention policy covers %s: %w", rec.ID, err)
+	}
+	dek, err := v.keys.Create(rec.ID)
+	if err != nil {
+		v.ret.Forget(rec.ID)
+		return Version{}, err
+	}
+	wrapped, err := v.keys.WrappedFor(rec.ID)
+	if err != nil {
+		v.ret.Forget(rec.ID)
+		return Version{}, err
+	}
+	ver, err := v.appendVersion(rec, actor, 1, dek, wrapped)
+	if err != nil {
+		v.ret.Forget(rec.ID)
+		return Version{}, err
+	}
+	v.records[rec.ID] = &recordState{
+		category: rec.Category,
+		mrn:      rec.MRN,
+		created:  rec.CreatedAt.UTC(),
+		versions: []Version{ver},
+	}
+	if _, err := v.prov.Record(rec.ID, provenance.EventCreated, actor, ver.CtHash, ""); err != nil {
+		return Version{}, err
+	}
+	return ver, nil
+}
+
+// readVersion reads and verifies one version's content. Caller holds
+// at least v.mu.RLock.
+func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
+	ct, err := v.blocks.Read(ver.Ref)
+	if err != nil {
+		return ehr.Record{}, fmt.Errorf("%w: %s v%d: %v", ErrTampered, id, ver.Number, err)
+	}
+	if vcrypto.Hash(ct) != ver.CtHash {
+		return ehr.Record{}, fmt.Errorf("%w: %s v%d: ciphertext hash mismatch", ErrTampered, id, ver.Number)
+	}
+	dek, err := v.keys.Get(id)
+	if err != nil {
+		if errors.Is(err, vcrypto.ErrShredded) {
+			return ehr.Record{}, fmt.Errorf("%w: %s", ErrShredded, id)
+		}
+		return ehr.Record{}, err
+	}
+	pt, err := vcrypto.Open(dek, ct, sealAAD(id, ver.Number))
+	if err != nil {
+		return ehr.Record{}, fmt.Errorf("%w: %s v%d: %v", ErrTampered, id, ver.Number, err)
+	}
+	return ehr.Decode(pt)
+}
+
+// Get returns the latest version of the record. The read — allowed or
+// denied — is audited.
+func (v *Vault) Get(actor, id string) (ehr.Record, Version, error) {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var category string
+	var latest Version
+	if err == nil {
+		category = string(st.category)
+		latest = st.versions[len(st.versions)-1]
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		// Audit the failed attempt too; unknown-record probing is signal.
+		_, _ = v.aud.Append(audit.Event{
+			Actor: actor, Action: audit.ActionRead, Record: id,
+			Outcome: audit.OutcomeError, Detail: err.Error(),
+		})
+		return ehr.Record{}, Version{}, err
+	}
+	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, latest.Number, category); err != nil {
+		return ehr.Record{}, Version{}, err
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	rec, err := v.readVersion(id, latest)
+	return rec, latest, err
+}
+
+// GetVersion returns a specific historical version (1-based).
+func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version, error) {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var category string
+	var target Version
+	if err == nil {
+		category = string(st.category)
+		if number == 0 || number > uint64(len(st.versions)) {
+			err = fmt.Errorf("%w: %s has no version %d", ErrNotFound, id, number)
+		} else {
+			target = st.versions[number-1]
+		}
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return ehr.Record{}, Version{}, err
+	}
+	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, number, category); err != nil {
+		return ehr.Record{}, Version{}, err
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	rec, err := v.readVersion(id, target)
+	return rec, target, err
+}
+
+// History returns the version metadata of the record, oldest first. It does
+// not decrypt content, but still requires (and audits) read permission.
+func (v *Vault) History(actor, id string) ([]Version, error) {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var category string
+	var versions []Version
+	if err == nil {
+		category = string(st.category)
+		versions = append(versions, st.versions...)
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, 0, category); err != nil {
+		return nil, err
+	}
+	return versions, nil
+}
+
+// Correct appends an amended version of the record. History is preserved:
+// the prior version stays readable via GetVersion, and the correction is
+// committed, indexed, audited, and recorded in the custody chain. This is
+// the capability the paper finds missing from compliance WORM storage.
+func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
+	if err := rec.Validate(); err != nil {
+		return Version{}, err
+	}
+	v.mu.RLock()
+	st, err := v.stateFor(rec.ID)
+	var category string
+	if err == nil {
+		category = string(st.category)
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return Version{}, err
+	}
+	if err := v.authorize(actor, authz.ActCorrect, audit.ActionCorrect, rec.ID, 0, category); err != nil {
+		return Version{}, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return Version{}, ErrClosed
+	}
+	st, err = v.stateFor(rec.ID)
+	if err != nil {
+		return Version{}, err
+	}
+	if rec.Category != st.category {
+		return Version{}, fmt.Errorf("%w: category %q -> %q", ErrIdentityChanged, st.category, rec.Category)
+	}
+	dek, err := v.keys.Get(rec.ID)
+	if err != nil {
+		return Version{}, err
+	}
+	number := uint64(len(st.versions)) + 1
+	ver, err := v.appendVersion(rec, actor, number, dek, nil)
+	if err != nil {
+		return Version{}, err
+	}
+	st.versions = append(st.versions, ver)
+	if _, err := v.prov.Record(rec.ID, provenance.EventCorrected, actor, ver.CtHash, ""); err != nil {
+		return Version{}, err
+	}
+	return ver, nil
+}
+
+// Search returns the IDs of records matching keyword that the actor is
+// allowed to read — results outside the actor's categories are filtered,
+// enforcing minimum-necessary even through search.
+func (v *Vault) Search(actor, keyword string) ([]string, error) {
+	if err := v.checkOpen(); err != nil {
+		return nil, err
+	}
+	// The actor may search if any of their roles permits ActSearch on any
+	// category; per-result visibility is then filtered by read permission.
+	allowed := v.auth.Check(actor, authz.ActSearch, "").Allowed
+	for _, cat := range ehr.Categories() {
+		if allowed {
+			break
+		}
+		allowed = v.auth.Check(actor, authz.ActSearch, string(cat)).Allowed
+	}
+	outcome := audit.OutcomeAllowed
+	if !allowed {
+		outcome = audit.OutcomeDenied
+	}
+	// The keyword itself is PHI-adjacent and is deliberately NOT written to
+	// the audit log — only the fact and outcome of the search.
+	if _, err := v.aud.Append(audit.Event{
+		Actor: actor, Action: audit.ActionSearch, Outcome: outcome,
+	}); err != nil {
+		return nil, err
+	}
+	if !allowed {
+		return nil, fmt.Errorf("%w: %s may not search", ErrDenied, actor)
+	}
+	hits := v.idx.Search(keyword)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []string
+	for _, id := range hits {
+		st, ok := v.records[id]
+		if !ok || st.shredded {
+			continue
+		}
+		if v.auth.Check(actor, authz.ActRead, string(st.category)).Allowed {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SearchAll returns the IDs of readable records containing every keyword
+// (conjunctive search), with the same authorization and filtering semantics
+// as Search.
+func (v *Vault) SearchAll(actor string, keywords ...string) ([]string, error) {
+	if err := v.checkOpen(); err != nil {
+		return nil, err
+	}
+	allowed := v.auth.Check(actor, authz.ActSearch, "").Allowed
+	for _, cat := range ehr.Categories() {
+		if allowed {
+			break
+		}
+		allowed = v.auth.Check(actor, authz.ActSearch, string(cat)).Allowed
+	}
+	outcome := audit.OutcomeAllowed
+	if !allowed {
+		outcome = audit.OutcomeDenied
+	}
+	if _, err := v.aud.Append(audit.Event{
+		Actor: actor, Action: audit.ActionSearch, Outcome: outcome,
+	}); err != nil {
+		return nil, err
+	}
+	if !allowed {
+		return nil, fmt.Errorf("%w: %s may not search", ErrDenied, actor)
+	}
+	hits := v.idx.SearchAll(keywords...)
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []string
+	for _, id := range hits {
+		st, ok := v.records[id]
+		if !ok || st.shredded {
+			continue
+		}
+		if v.auth.Check(actor, authz.ActRead, string(st.category)).Allowed {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Shred securely deletes the record: its data key is destroyed, its index
+// postings removed, and the destruction is audited and recorded in the
+// custody chain. Shred refuses while retention is active or a legal hold is
+// in place. The ciphertext remains in the append-only log — permanently
+// unreadable — and the Merkle history of the record's existence is
+// preserved, as disposition accountability requires.
+func (v *Vault) Shred(actor, id string) error {
+	v.mu.RLock()
+	st, err := v.stateFor(id)
+	var category string
+	if err == nil {
+		category = string(st.category)
+	}
+	v.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, id, 0, category); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	st, err = v.stateFor(id)
+	if err != nil {
+		return err
+	}
+	if err := v.ret.CanDispose(id); err != nil {
+		_, _ = v.aud.Append(audit.Event{
+			Actor: actor, Action: audit.ActionDelete, Record: id,
+			Outcome: audit.OutcomeDenied, Detail: err.Error(),
+		})
+		return err
+	}
+	if v.metaWAL != nil {
+		if _, err := v.metaWAL.Append(encodeShredEntry(id)); err != nil {
+			return fmt.Errorf("core: logging shred of %s: %w", id, err)
+		}
+	}
+	if err := v.keys.Shred(id); err != nil {
+		return err
+	}
+	v.idx.Remove(id)
+	v.ret.Forget(id)
+	st.shredded = true
+	if _, err := v.prov.Record(id, provenance.EventShredded, actor, [32]byte{}, ""); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PlaceHold puts a durable legal hold on the record: disposition is blocked
+// until release, the hold survives restarts (WAL-logged and snapshotted),
+// and both placement and release are audited. Requires disposition (shred)
+// permission — holds govern destruction.
+func (v *Vault) PlaceHold(actor, id, reason string) error {
+	if reason == "" {
+		return fmt.Errorf("core: a legal hold requires a reason")
+	}
+	v.mu.RLock()
+	_, err := v.stateFor(id)
+	v.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	placed := v.now()
+	if v.metaWAL != nil {
+		if _, err := v.metaWAL.Append(encodeHoldEntry(id, reason, placed)); err != nil {
+			return fmt.Errorf("core: logging hold on %s: %w", id, err)
+		}
+	}
+	if err := v.ret.PlaceHoldAt(id, reason, placed); err != nil {
+		return err
+	}
+	_, _ = v.aud.Append(audit.Event{
+		Actor: actor, Action: audit.ActionPolicy, Record: id,
+		Outcome: audit.OutcomeAllowed, Detail: "legal hold placed: " + reason,
+	})
+	return nil
+}
+
+// ReleaseHold lifts a legal hold; the release is WAL-logged and audited.
+func (v *Vault) ReleaseHold(actor, id string) error {
+	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if v.metaWAL != nil {
+		if _, err := v.metaWAL.Append(encodeReleaseEntry(id)); err != nil {
+			return fmt.Errorf("core: logging hold release on %s: %w", id, err)
+		}
+	}
+	v.ret.ReleaseHold(id)
+	_, _ = v.aud.Append(audit.Event{
+		Actor: actor, Action: audit.ActionPolicy, Record: id,
+		Outcome: audit.OutcomeAllowed, Detail: "legal hold released",
+	})
+	return nil
+}
+
+// BreakGlass grants the actor time-boxed emergency access and records the
+// grant in the audit trail.
+func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
+	g, err := v.auth.BreakGlass(actor, reason, duration)
+	if err != nil {
+		return err
+	}
+	_, err = v.aud.Append(audit.Event{
+		Actor:   actor,
+		Action:  audit.ActionBreakGlass,
+		Outcome: audit.OutcomeAllowed,
+		Detail:  fmt.Sprintf("grant issued until %s: %s", g.Expires.Format(time.RFC3339), reason),
+	})
+	return err
+}
+
+// AuditEvents returns audit events matching q; the query itself requires
+// (and is recorded with) audit permission.
+func (v *Vault) AuditEvents(actor string, q audit.Query) ([]audit.Event, error) {
+	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
+		return nil, err
+	}
+	return v.aud.Search(q), nil
+}
+
+// Provenance returns the record's custody chain; requires audit permission.
+func (v *Vault) Provenance(actor, id string) ([]provenance.Event, error) {
+	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, id, 0, ""); err != nil {
+		return nil, err
+	}
+	return v.prov.Chain(id)
+}
+
+// AuditCheckpoint signs and returns a checkpoint of the audit chain; store
+// it off-system.
+func (v *Vault) AuditCheckpoint() audit.Checkpoint { return v.aud.Checkpoint() }
+
+// VersionCount returns how many versions the live record has. It exposes no
+// record content; the backup package uses it to decide incremental
+// inclusion without exporting plaintext.
+func (v *Vault) VersionCount(id string) (int, error) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	st, err := v.stateFor(id)
+	if err != nil {
+		return 0, err
+	}
+	return len(st.versions), nil
+}
+
+// RecordIDs returns the IDs of live records, sorted.
+func (v *Vault) RecordIDs() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	var out []string
+	for id, st := range v.records {
+		if !st.shredded {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExpiredRecords returns live records past their retention period and not
+// under legal hold — the disposition work list.
+func (v *Vault) ExpiredRecords() []string { return v.ret.Expired() }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"medvault/internal/ehr"
+)
+
+// TestRandomOperationsAgainstOracle drives long random operation sequences
+// against a simple in-memory oracle and checks that the vault agrees with it
+// on every observable: existence, latest content, version count, shredded
+// state — and that VerifyAll stays green throughout.
+func TestRandomOperationsAgainstOracle(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			v, vc := newVault(t)
+			rng := rand.New(rand.NewSource(seed))
+			gen := ehr.NewGenerator(seed, testEpoch)
+
+			type oracleRec struct {
+				bodies   []string // per version
+				shredded bool
+			}
+			oracle := make(map[string]*oracleRec)
+			var ids []string
+
+			randLive := func() (string, *oracleRec) {
+				if len(ids) == 0 {
+					return "", nil
+				}
+				id := ids[rng.Intn(len(ids))]
+				return id, oracle[id]
+			}
+
+			for op := 0; op < 300; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2: // put
+					r := gen.Next()
+					if r.Category != ehr.CategoryClinical && r.Category != ehr.CategoryLab {
+						continue
+					}
+					r.CreatedAt = testEpoch
+					_, err := v.Put("dr-house", r)
+					if err != nil {
+						t.Fatalf("op %d Put: %v", op, err)
+					}
+					oracle[r.ID] = &oracleRec{bodies: []string{r.Body}}
+					ids = append(ids, r.ID)
+				case 3, 4, 5: // get latest
+					id, o := randLive()
+					if id == "" {
+						continue
+					}
+					rec, ver, err := v.Get("dr-house", id)
+					if o.shredded {
+						if !errors.Is(err, ErrShredded) {
+							t.Fatalf("op %d: Get(shredded %s) = %v", op, id, err)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("op %d Get(%s): %v", op, id, err)
+					}
+					if rec.Body != o.bodies[len(o.bodies)-1] {
+						t.Fatalf("op %d: Get(%s) stale content", op, id)
+					}
+					if ver.Number != uint64(len(o.bodies)) {
+						t.Fatalf("op %d: Get(%s) version %d, oracle %d", op, id, ver.Number, len(o.bodies))
+					}
+				case 6, 7: // correct
+					id, o := randLive()
+					if id == "" || o.shredded {
+						continue
+					}
+					rec, _, err := v.Get("dr-house", id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rec.Body = fmt.Sprintf("corrected body %d", op)
+					if _, err := v.Correct("dr-house", rec); err != nil {
+						t.Fatalf("op %d Correct: %v", op, err)
+					}
+					o.bodies = append(o.bodies, rec.Body)
+				case 8: // read a random historical version
+					id, o := randLive()
+					if id == "" || o.shredded || len(o.bodies) == 0 {
+						continue
+					}
+					n := 1 + rng.Intn(len(o.bodies))
+					rec, _, err := v.GetVersion("dr-house", id, uint64(n))
+					if err != nil {
+						t.Fatalf("op %d GetVersion(%s,%d): %v", op, id, n, err)
+					}
+					if rec.Body != o.bodies[n-1] {
+						t.Fatalf("op %d: version %d content drifted", op, n)
+					}
+				case 9: // shred (needs expiry)
+					id, o := randLive()
+					if id == "" || o.shredded {
+						continue
+					}
+					vc.Advance(40 * 365 * 24 * 3600 * 1e9) // 40y in ns
+					if err := v.Shred("arch-lee", id); err != nil {
+						t.Fatalf("op %d Shred(%s): %v", op, id, err)
+					}
+					o.shredded = true
+				}
+			}
+
+			// Final invariants: counts agree and full verification passes.
+			live := 0
+			for _, o := range oracle {
+				if !o.shredded {
+					live++
+				}
+			}
+			if v.Len() != live {
+				t.Errorf("Len = %d, oracle %d", v.Len(), live)
+			}
+			rep, err := v.VerifyAll(nil, nil)
+			if err != nil {
+				t.Fatalf("VerifyAll after random ops: %v", err)
+			}
+			var wantVersions int
+			for _, o := range oracle {
+				wantVersions += len(o.bodies)
+			}
+			if rep.VersionsChecked != wantVersions {
+				t.Errorf("verified %d versions, oracle %d", rep.VersionsChecked, wantVersions)
+			}
+		})
+	}
+}
+
+// TestConcurrentVaultOperations hammers one vault from many goroutines and
+// then checks full integrity: no lost versions, no broken chains.
+func TestConcurrentVaultOperations(t *testing.T) {
+	v, _ := newVault(t)
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*4)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := ehr.Record{
+					ID:       fmt.Sprintf("w%d/rec-%d", w, i),
+					MRN:      fmt.Sprintf("mrn-w%d", w),
+					Patient:  "Concurrent Patient",
+					Category: ehr.CategoryClinical,
+					Author:   "dr-house", CreatedAt: testEpoch,
+					Title: "t", Body: fmt.Sprintf("note %d from writer %d with hypertension", i, w),
+				}
+				if _, err := v.Put("dr-house", rec); err != nil {
+					errs <- fmt.Errorf("put w%d/%d: %w", w, i, err)
+					return
+				}
+				if _, _, err := v.Get("dr-house", rec.ID); err != nil {
+					errs <- fmt.Errorf("get w%d/%d: %w", w, i, err)
+					return
+				}
+				if i%5 == 0 {
+					rec.Body += " corrected"
+					if _, err := v.Correct("dr-house", rec); err != nil {
+						errs <- fmt.Errorf("correct w%d/%d: %w", w, i, err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, err := v.Search("dr-house", "hypertension"); err != nil {
+						errs <- fmt.Errorf("search w%d/%d: %w", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", v.Len(), writers*perWriter)
+	}
+	rep, err := v.VerifyAll(nil, nil)
+	if err != nil {
+		t.Fatalf("VerifyAll after concurrency: %v", err)
+	}
+	wantVersions := writers * perWriter * 6 / 5 // every 5th record corrected
+	if rep.VersionsChecked != wantVersions {
+		t.Errorf("versions = %d, want %d", rep.VersionsChecked, wantVersions)
+	}
+	if _, err := v.aud.Verify(); err != nil {
+		t.Errorf("audit chain after concurrency: %v", err)
+	}
+}

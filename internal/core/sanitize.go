@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+	"medvault/internal/blockstore"
+)
+
+// SanitizeMedia rewrites the vault's block storage, physically dropping the
+// ciphertext of shredded records. Crypto-shredding already makes that
+// ciphertext permanently unreadable; sanitization additionally removes the
+// bytes from the medium, which matters when the medium itself is disposed of
+// or re-used (HIPAA §164.310(d)(2)(i)-(ii) govern "the media or hardware on
+// which the records are stored", not just the records).
+//
+// What is preserved, deliberately:
+//   - Every live version's ciphertext (relocated; refs updated).
+//   - The entire Merkle commitment log — the *history* that shredded
+//     versions existed remains provable; only their payload bytes go.
+//   - Audit and provenance trails, including the shred and sanitize events.
+//
+// After sanitization, shredded versions can no longer be byte-checked
+// against their commitments (there are no bytes); VerifyAll skips the
+// ciphertext comparison for them and verifies their commitment leaves only.
+//
+// Memory-backed vaults rebuild their in-memory segments. Durable vaults
+// rewrite their segment files into fresh ones and swap directories, then
+// snapshot metadata and checkpoint the WAL (the rewrite changed every block
+// reference, so stale WAL intents must not be replayable). The directory
+// swap is sequenced old→aside, new→live, remove-aside; a crash between the
+// renames leaves a recoverable directory rather than a half-written one.
+func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err error) {
+	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, "", 0, ""); err != nil {
+		return 0, 0, err
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return 0, 0, ErrClosed
+	}
+	before := v.blocks.StorageBytes()
+
+	// Build the sanitized replacement store.
+	var fresh blockstore.Store
+	durable := v.dir != ""
+	var freshDir string
+	if durable {
+		freshDir = filepath.Join(v.dir, "blocks.sanitize")
+		if err := os.RemoveAll(freshDir); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: clearing staging dir: %w", err)
+		}
+		f, err := blockstore.OpenFile(freshDir, 0)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: staging store: %w", err)
+		}
+		fresh = f
+	} else {
+		fresh = blockstore.NewMemory(0)
+	}
+
+	for _, id := range sortedRecordIDs(v.records) {
+		st := v.records[id]
+		if st.shredded {
+			if !st.sanitized {
+				dropped += len(st.versions)
+				st.sanitized = true
+			}
+			continue
+		}
+		for i := range st.versions {
+			ct, err := v.blocks.Read(st.versions[i].Ref)
+			if err != nil {
+				return 0, 0, fmt.Errorf("core: sanitize: reading %s v%d: %w", id, st.versions[i].Number, err)
+			}
+			ref, err := fresh.Append(ct)
+			if err != nil {
+				return 0, 0, fmt.Errorf("core: sanitize: rewriting %s v%d: %w", id, st.versions[i].Number, err)
+			}
+			st.versions[i].Ref = ref
+		}
+	}
+
+	if durable {
+		if err := fresh.Sync(); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: syncing staging store: %w", err)
+		}
+		if err := fresh.Close(); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: closing staging store: %w", err)
+		}
+		if err := v.blocks.Close(); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: closing old store: %w", err)
+		}
+		liveDir := filepath.Join(v.dir, "blocks")
+		asideDir := filepath.Join(v.dir, "blocks.old")
+		if err := os.Rename(liveDir, asideDir); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: setting old media aside: %w", err)
+		}
+		if err := os.Rename(freshDir, liveDir); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: activating sanitized media: %w", err)
+		}
+		if err := os.RemoveAll(asideDir); err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: destroying old media: %w", err)
+		}
+		reopened, err := blockstore.OpenFile(liveDir, 0)
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: sanitize: reopening sanitized media: %w", err)
+		}
+		v.blocks = reopened
+		// Metadata now references the new media only: snapshot and drop
+		// stale WAL intents.
+		if err := v.writeSnapshotLocked(); err != nil {
+			return 0, 0, err
+		}
+		if err := v.metaWAL.Checkpoint(); err != nil {
+			return 0, 0, err
+		}
+	} else {
+		old := v.blocks
+		v.blocks = fresh
+		_ = old.Close()
+	}
+	reclaimed = before - v.blocks.StorageBytes()
+
+	_, _ = v.aud.Append(audit.Event{
+		Actor:   actor,
+		Action:  audit.ActionDelete,
+		Outcome: audit.OutcomeAllowed,
+		Detail:  fmt.Sprintf("media sanitization: %d shredded version(s) removed from media, %d bytes reclaimed", dropped, reclaimed),
+	})
+	return dropped, reclaimed, nil
+}
+
+// sortedRecordIDs orders the rewrite deterministically.
+func sortedRecordIDs(m map[string]*recordState) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

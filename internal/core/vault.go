@@ -1,0 +1,311 @@
+// Package core implements MedVault, the hybrid compliance store this
+// reproduction exists to build. The paper's conclusion calls for "a hybrid
+// model suited for trustworthy regulatory-compliant health-care record
+// storage" combining the strengths of the models it surveys; the Vault is
+// that model:
+//
+//   - Write-once versioned records: corrections never overwrite — they
+//     append a new version chained to its predecessor, so WORM-grade history
+//     coexists with HIPAA's right to amend.
+//   - Per-record envelope encryption with crypto-shredding for secure
+//     deletion and media re-use safety.
+//   - A Merkle commitment log with signed tree heads: every version is
+//     committed at write time, and verification against any remembered head
+//     exposes insider tampering, rollback, and history rewriting.
+//   - An SSE index: keyword search without keyword leakage.
+//   - A tamper-evident audit chain recording every access decision, allowed
+//     or denied, and a signed chain-of-custody provenance graph.
+//   - RBAC with minimum-necessary category scoping and audited break-glass.
+//   - Retention schedules with legal holds; verified migration and backup
+//     live in their own packages on top of the export API.
+//
+// A Vault is memory-backed by default; give Config.Dir to get durable
+// file-backed storage with write-ahead-logged metadata and crash recovery.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+	"medvault/internal/blockstore"
+	"medvault/internal/clock"
+	"medvault/internal/ehr"
+	"medvault/internal/index"
+	"medvault/internal/merkle"
+	"medvault/internal/provenance"
+	"medvault/internal/retention"
+	"medvault/internal/vcrypto"
+	"medvault/internal/wal"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNotFound indicates no record with the given ID.
+	ErrNotFound = errors.New("core: record not found")
+	// ErrExists indicates a Put of an already-existing record ID.
+	ErrExists = errors.New("core: record already exists")
+	// ErrDenied indicates the actor is not authorized for the operation.
+	// The denial has already been written to the audit log.
+	ErrDenied = errors.New("core: access denied")
+	// ErrShredded indicates the record was securely deleted; its content is
+	// unrecoverable by design.
+	ErrShredded = errors.New("core: record was securely deleted")
+	// ErrTampered indicates integrity verification failed.
+	ErrTampered = errors.New("core: tampering detected")
+	// ErrIdentityChanged indicates a correction that tries to alter the
+	// record's identity (ID, MRN, or category).
+	ErrIdentityChanged = errors.New("core: correction must not change record identity")
+	// ErrClosed indicates use of a closed vault.
+	ErrClosed = errors.New("core: vault closed")
+)
+
+// Version describes one committed version of a record.
+type Version struct {
+	Number    uint64 // 1-based; 1 is the original, 2+ are corrections
+	Author    string
+	Timestamp time.Time
+	Ref       blockstore.Ref // location of the ciphertext
+	CtHash    [32]byte       // SHA-256 of the ciphertext, Merkle-committed
+	LeafIndex uint64         // position in the commitment log
+}
+
+// recordState is the in-memory metadata for one record.
+type recordState struct {
+	category  ehr.Category
+	mrn       string    // patient identifier, for accounting of disclosures
+	created   time.Time // record's own creation date; starts retention
+	versions  []Version
+	shredded  bool
+	sanitized bool // shredded AND ciphertext removed from media
+}
+
+// Config configures a Vault.
+type Config struct {
+	// Name identifies this vault in provenance custody chains.
+	Name string
+	// Master is the root secret. Everything key-like (DEK wrapping, index
+	// tokens, audit MAC, signing identity) derives from it.
+	Master vcrypto.Key
+	// Clock supplies time; nil means the system clock.
+	Clock clock.Clock
+	// Policies are retention schedules; empty means StandardPolicies.
+	Policies []retention.Policy
+	// Dir, when non-empty, makes the vault durable: ciphertext, audit, and
+	// provenance go to segment files under Dir, and record metadata is
+	// write-ahead logged and snapshotted for crash recovery.
+	Dir string
+	// AuditCheckpointInterval is the automatic audit checkpoint cadence in
+	// events (0 disables automatic checkpoints).
+	AuditCheckpointInterval int
+}
+
+// Vault is the hybrid compliance store.
+type Vault struct {
+	mu     sync.RWMutex
+	name   string
+	clk    clock.Clock
+	signer *vcrypto.Signer
+	keys   *vcrypto.KeyStore
+	blocks blockstore.Store
+	log    *merkle.Log
+	idx    *index.SSE
+	aud    *audit.Log
+	prov   *provenance.Tracker
+	auth   *authz.Authorizer
+	ret    *retention.Manager
+
+	records  map[string]*recordState
+	leafSeq  uint64 // total versions committed (== Merkle log size)
+	metaWAL  *wal.Log
+	dir      string
+	closed   bool
+	masterFP string // master key fingerprint, for manifests
+
+	// auditStore and provStore are retained so Close can release their
+	// file handles (the audit and provenance logs do not own closing them).
+	auditStore, provStore blockstore.Store
+}
+
+// Open creates or reopens a vault.
+func Open(cfg Config) (*Vault, error) {
+	if cfg.Name == "" {
+		cfg.Name = "medvault"
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.System{}
+	}
+	signer := vcrypto.SignerFromSeed(vcrypto.DeriveKey(cfg.Master, "vault/signer"))
+	now := func() time.Time { return clk.Now() }
+
+	v := &Vault{
+		name:     cfg.Name,
+		clk:      clk,
+		signer:   signer,
+		keys:     vcrypto.NewKeyStore(vcrypto.DeriveKey(cfg.Master, "vault/kek")),
+		idx:      index.NewSSE(vcrypto.DeriveKey(cfg.Master, "vault/index")),
+		auth:     authz.New(now),
+		records:  make(map[string]*recordState),
+		dir:      cfg.Dir,
+		masterFP: cfg.Master.Fingerprint(),
+	}
+
+	pols := cfg.Policies
+	if len(pols) == 0 {
+		pols = retention.StandardPolicies()
+	}
+	v.ret = retention.NewManager(clk)
+	for _, p := range pols {
+		v.ret.SetPolicy(p)
+	}
+
+	var blockSt, auditSt, provSt blockstore.Store
+	if cfg.Dir == "" {
+		blockSt = blockstore.NewMemory(0)
+		auditSt = blockstore.NewMemory(0)
+		provSt = blockstore.NewMemory(0)
+	} else {
+		var err error
+		if blockSt, err = blockstore.OpenFile(filepath.Join(cfg.Dir, "blocks"), 0); err != nil {
+			return nil, fmt.Errorf("core: opening block store: %w", err)
+		}
+		if auditSt, err = blockstore.OpenFile(filepath.Join(cfg.Dir, "audit"), 0); err != nil {
+			return nil, fmt.Errorf("core: opening audit store: %w", err)
+		}
+		if provSt, err = blockstore.OpenFile(filepath.Join(cfg.Dir, "prov"), 0); err != nil {
+			return nil, fmt.Errorf("core: opening provenance store: %w", err)
+		}
+	}
+	v.blocks = blockSt
+	v.auditStore = auditSt
+	v.provStore = provSt
+
+	var err error
+	v.aud, err = audit.Open(audit.Config{
+		Store:              auditSt,
+		MACKey:             vcrypto.DeriveKey(cfg.Master, "vault/audit-mac"),
+		Signer:             signer,
+		Now:                now,
+		CheckpointInterval: cfg.AuditCheckpointInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	v.prov, err = provenance.Open(provenance.Config{
+		Store:  provSt,
+		Signer: signer,
+		System: cfg.Name,
+		Now:    now,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	v.log = merkle.NewLog(signer, now)
+
+	if cfg.Dir != "" {
+		if err := v.recover(cfg.Master); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// recover loads the metadata snapshot and replays the WAL, rebuilding the
+// records table, key store, Merkle log, and index.
+func (v *Vault) recover(master vcrypto.Key) error {
+	snapPath := filepath.Join(v.dir, "meta.snap")
+	if err := v.loadSnapshot(master, snapPath); err != nil {
+		return err
+	}
+	walPath := filepath.Join(v.dir, "meta.wal")
+	w, err := wal.Open(walPath, func(e wal.Entry) error {
+		return v.applyWALEntry(e.Data)
+	})
+	if err != nil {
+		return fmt.Errorf("core: recovering metadata WAL: %w", err)
+	}
+	v.metaWAL = w
+	return nil
+}
+
+// Authz returns the vault's authorizer for role and principal management.
+func (v *Vault) Authz() *authz.Authorizer { return v.auth }
+
+// Retention returns the retention manager (legal holds, schedules).
+func (v *Vault) Retention() *retention.Manager { return v.ret }
+
+// Name returns the vault's system name.
+func (v *Vault) Name() string { return v.name }
+
+// PublicKey returns the vault's signing identity.
+func (v *Vault) PublicKey() vcrypto.PublicKey { return v.signer.Public() }
+
+// Head returns the current signed Merkle tree head. Store it off-system;
+// pass it back to VerifyAll to detect history rewriting.
+func (v *Vault) Head() merkle.SignedTreeHead { return v.log.Head() }
+
+// Len returns the number of live (non-shredded) records.
+func (v *Vault) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	n := 0
+	for _, st := range v.records {
+		if !st.shredded {
+			n++
+		}
+	}
+	return n
+}
+
+// StorageBytes reports bytes consumed by ciphertext plus the index's stored
+// form — the cost-experiment accounting.
+func (v *Vault) StorageBytes() int64 {
+	return v.blocks.StorageBytes() + int64(v.idx.StorageBytes())
+}
+
+// Close flushes state and releases resources. For durable vaults it writes
+// a metadata snapshot and checkpoints the WAL, so the next Open is fast.
+func (v *Vault) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	if v.dir != "" {
+		if err := v.writeSnapshotLocked(); err != nil {
+			return err
+		}
+		if err := v.metaWAL.Checkpoint(); err != nil {
+			return err
+		}
+		if err := v.metaWAL.Close(); err != nil {
+			return err
+		}
+	}
+	if err := v.blocks.Sync(); err != nil && !errors.Is(err, blockstore.ErrClosed) {
+		return err
+	}
+	if err := v.blocks.Close(); err != nil {
+		return err
+	}
+	if err := v.auditStore.Sync(); err != nil && !errors.Is(err, blockstore.ErrClosed) {
+		return err
+	}
+	if err := v.auditStore.Close(); err != nil {
+		return err
+	}
+	if err := v.provStore.Sync(); err != nil && !errors.Is(err, blockstore.ErrClosed) {
+		return err
+	}
+	return v.provStore.Close()
+}
+
+// now returns the current vault time in UTC.
+func (v *Vault) now() time.Time { return v.clk.Now().UTC() }

@@ -1,0 +1,30 @@
+package ehr
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecode feeds arbitrary bytes to the record decoder: it must never
+// panic, and every successful decode must round-trip to identical bytes
+// (the canonical-encoding invariant that content hashing depends on).
+func FuzzDecode(f *testing.F) {
+	g := NewGenerator(1, time.Time{})
+	for i := 0; i < 5; i++ {
+		f.Add(Encode(g.Next()))
+	}
+	f.Add([]byte{})
+	f.Add([]byte("MVR1"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re := Encode(rec)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"medvault/internal/ehr"
+	"medvault/internal/stores"
+)
+
+// E2 measures the security/performance trade-off the paper's Section 4
+// closes on: put, get, correct, and search latency per storage model at a
+// given corpus size. The expected shape: the relational baseline is fastest
+// (it does nothing but store bytes), the hybrid pays a bounded constant
+// factor for crypto + commitment + audit, and the scan-based models' search
+// degrades linearly with corpus size.
+func E2(n int) (Table, error) {
+	subjects, err := NewSubjects()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E2",
+		Title:  fmt.Sprintf("Operation latency by storage model (n=%d records)", n),
+		Note:   "put = create; get = read latest; correct = amend (n/a on WORM); search = common keyword.",
+		Header: []string{"store", "put/op", "put rate", "get/op", "correct/op", "search/op", "search hits"},
+	}
+	recs := Corpus(n)
+	kw := ehr.CommonCondition()
+	for _, sub := range subjects {
+		s := sub.Store
+		putTotal, putPer, err := timeOp(len(recs), func(i int) error { return s.Put(recs[i]) })
+		if err != nil {
+			return Table{}, fmt.Errorf("E2 %s put: %w", s.Name(), err)
+		}
+		_, getPer, err := timeOp(len(recs), func(i int) error {
+			_, err := s.Get(recs[i].ID)
+			return err
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("E2 %s get: %w", s.Name(), err)
+		}
+		correctCell := "n/a (write-once)"
+		nCorr := len(recs) / 10
+		if nCorr == 0 {
+			nCorr = 1
+		}
+		_, corrPer, err := timeOp(nCorr, func(i int) error {
+			return s.Correct(correctionOf(recs[i]))
+		})
+		if err == nil {
+			correctCell = fmtDur(corrPer)
+		} else if !errorsIsUnsupported(err) {
+			return Table{}, fmt.Errorf("E2 %s correct: %w", s.Name(), err)
+		}
+		var hits int
+		searches := 20
+		_, searchPer, err := timeOp(searches, func(i int) error {
+			ids, err := s.Search(kw)
+			hits = len(ids)
+			return err
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("E2 %s search: %w", s.Name(), err)
+		}
+		t.Rows = append(t.Rows, []string{
+			s.Name(),
+			fmtDur(putPer),
+			fmtRate(len(recs), putTotal),
+			fmtDur(getPer),
+			correctCell,
+			fmtDur(searchPer),
+			fmt.Sprintf("%d", hits),
+		})
+	}
+	return t, nil
+}
+
+func errorsIsUnsupported(err error) bool {
+	return errors.Is(err, stores.ErrUnsupported)
+}
+
+// E2Series is the figure-shaped counterpart of E2: per-store put/get/search
+// latency across corpus sizes, showing the scaling behaviour Section 4
+// argues about — indexed search stays flat while scan-based search grows
+// linearly, and the hybrid's write overhead stays a constant factor.
+func E2Series(sizes []int) (Table, error) {
+	t := Table{
+		ID:     "E2b",
+		Title:  "Scaling series: per-op latency vs corpus size",
+		Note:   "one row per (store, n); compare within a store across n for scaling, across stores at fixed n for overhead.",
+		Header: []string{"store", "n", "put/op", "get/op", "search/op"},
+	}
+	for _, n := range sizes {
+		subjects, err := NewSubjects()
+		if err != nil {
+			return Table{}, err
+		}
+		recs := Corpus(n)
+		kw := ehr.CommonCondition()
+		for _, sub := range subjects {
+			s := sub.Store
+			_, putPer, err := timeOp(len(recs), func(i int) error { return s.Put(recs[i]) })
+			if err != nil {
+				return Table{}, fmt.Errorf("E2b %s put: %w", s.Name(), err)
+			}
+			_, getPer, err := timeOp(len(recs), func(i int) error {
+				_, err := s.Get(recs[i].ID)
+				return err
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("E2b %s get: %w", s.Name(), err)
+			}
+			_, searchPer, err := timeOp(10, func(i int) error {
+				_, err := s.Search(kw)
+				return err
+			})
+			if err != nil {
+				return Table{}, fmt.Errorf("E2b %s search: %w", s.Name(), err)
+			}
+			t.Rows = append(t.Rows, []string{
+				s.Name(), fmt.Sprintf("%d", n),
+				fmtDur(putPer), fmtDur(getPer), fmtDur(searchPer),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E2Raw returns machine-readable per-op latencies (nanoseconds) keyed by
+// store and operation, for tests asserting the trade-off's shape.
+func E2Raw(n int) (map[string]map[string]int64, error) {
+	subjects, err := NewSubjects()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]int64)
+	recs := Corpus(n)
+	kw := ehr.CommonCondition()
+	for _, sub := range subjects {
+		s := sub.Store
+		m := make(map[string]int64)
+		_, putPer, err := timeOp(len(recs), func(i int) error { return s.Put(recs[i]) })
+		if err != nil {
+			return nil, err
+		}
+		m["put"] = putPer.Nanoseconds()
+		_, getPer, err := timeOp(len(recs), func(i int) error {
+			_, err := s.Get(recs[i].ID)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		m["get"] = getPer.Nanoseconds()
+		_, searchPer, err := timeOp(10, func(i int) error {
+			_, err := s.Search(kw)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		m["search"] = searchPer.Nanoseconds()
+		out[s.Name()] = m
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/blockstore"
+	"medvault/internal/vcrypto"
+)
+
+// E7 measures audit-trail scalability (paper §3 "All access to the storage
+// system should be logged in a trustworthy manner"): append throughput, and
+// full-chain verification time as the log grows. Expected shape: appends are
+// constant-time; verification is linear in log size; checkpoint-anchored
+// verification pays the same linear scan but bounds what an adversary can
+// rewrite to the suffix after the newest off-system checkpoint.
+func E7(sizes []int) (Table, error) {
+	t := Table{
+		ID:     "E7",
+		Title:  "Audit chain: append throughput and verification cost vs size",
+		Header: []string{"events", "append/op", "append rate", "verify(all)", "verify rate", "checkpointed"},
+	}
+	for _, n := range sizes {
+		signer, err := vcrypto.NewSigner()
+		if err != nil {
+			return Table{}, err
+		}
+		key, err := vcrypto.NewKey()
+		if err != nil {
+			return Table{}, err
+		}
+		log, err := audit.Open(audit.Config{
+			Store:              blockstore.NewMemory(0),
+			MACKey:             key,
+			Signer:             signer,
+			CheckpointInterval: 1000,
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		appendTotal, appendPer, err := timeOp(n, func(i int) error {
+			_, err := log.Append(audit.Event{
+				Actor:   fmt.Sprintf("dr-%d", i%17),
+				Action:  audit.ActionRead,
+				Record:  fmt.Sprintf("mrn-%06d/enc-0", i%512),
+				Outcome: audit.OutcomeAllowed,
+			})
+			return err
+		})
+		if err != nil {
+			return Table{}, err
+		}
+		vStart := time.Now()
+		verified, err := log.Verify()
+		if err != nil {
+			return Table{}, err
+		}
+		verifyCost := time.Since(vStart)
+
+		// Verification anchored to the newest checkpoint.
+		cps := log.Checkpoints()
+		cpCell := "none"
+		if len(cps) > 0 {
+			cp := cps[len(cps)-1]
+			cStart := time.Now()
+			if err := log.VerifyAgainst(cp, signer.Public()); err != nil {
+				return Table{}, err
+			}
+			cpCell = fmtDur(time.Since(cStart))
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmtDur(appendPer),
+			fmtRate(n, appendTotal),
+			fmtDur(verifyCost),
+			fmtRate(verified, verifyCost),
+			cpCell,
+		})
+	}
+	return t, nil
+}
+
+// E7Raw returns verification cost per size for linearity assertions.
+func E7Raw(sizes []int) (map[int]time.Duration, error) {
+	out := make(map[int]time.Duration)
+	for _, n := range sizes {
+		signer, err := vcrypto.NewSigner()
+		if err != nil {
+			return nil, err
+		}
+		key, err := vcrypto.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		log, err := audit.Open(audit.Config{Store: blockstore.NewMemory(0), MACKey: key, Signer: signer})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if _, err := log.Append(audit.Event{Actor: "a", Action: audit.ActionRead, Outcome: audit.OutcomeAllowed}); err != nil {
+				return nil, err
+			}
+		}
+		start := time.Now()
+		if _, err := log.Verify(); err != nil {
+			return nil, err
+		}
+		out[n] = time.Since(start)
+	}
+	return out, nil
+}

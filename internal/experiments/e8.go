@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"medvault/internal/backup"
+	"medvault/internal/vcrypto"
+)
+
+// E8 measures retention and backup (paper §3 "Support for Long Retention",
+// "Backup"): the cost of a retention sweep over a large tracked population,
+// full backup creation, verified restore, and the incremental-backup size
+// advantage when little has changed.
+func E8(n int) (Table, error) {
+	t := Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("Retention sweep and verified backup/restore (n=%d records)", n),
+		Header: []string{"operation", "records", "elapsed", "rate", "note"},
+	}
+	subs, err := NewSubjects()
+	if err != nil {
+		return Table{}, err
+	}
+	sub := subs[len(subs)-1] // MedVault
+	recs := Corpus(n)
+	for i := range recs {
+		recs[i].CreatedAt = Epoch
+	}
+	if err := seed(sub.Store, recs); err != nil {
+		return Table{}, err
+	}
+
+	// Retention sweep before any expiry: zero results, full scan cost.
+	start := time.Now()
+	expired := sub.Vault.ExpiredRecords()
+	sweepCold := time.Since(start)
+	t.Rows = append(t.Rows, []string{
+		"retention sweep (t=0)", fmt.Sprintf("%d expired", len(expired)), fmtDur(sweepCold), fmtRate(n, sweepCold), "no schedule elapsed",
+	})
+
+	// Advance past clinical/lab/imaging/billing but not occupational.
+	advanceYears(sub.Clock, 8)
+	start = time.Now()
+	expired = sub.Vault.ExpiredRecords()
+	sweepWarm := time.Since(start)
+	t.Rows = append(t.Rows, []string{
+		"retention sweep (t=8y)", fmt.Sprintf("%d expired", len(expired)), fmtDur(sweepWarm), fmtRate(n, sweepWarm), "occupational (30y) still held",
+	})
+
+	// Full backup.
+	key, err := vcrypto.NewKey()
+	if err != nil {
+		return Table{}, err
+	}
+	start = time.Now()
+	arch, err := backup.Create(sub.Vault, "bench-admin", key, "offsite")
+	if err != nil {
+		return Table{}, err
+	}
+	createCost := time.Since(start)
+	blob := backup.Encode(arch)
+	t.Rows = append(t.Rows, []string{
+		"full backup", fmt.Sprintf("%d", len(arch.Manifest.Entries)), fmtDur(createCost), fmtRate(n, createCost),
+		fmt.Sprintf("%d KiB sealed archive", len(blob)/1024),
+	})
+
+	// Verified restore into a fresh vault.
+	fresh, err := NewSubjects()
+	if err != nil {
+		return Table{}, err
+	}
+	target := fresh[len(fresh)-1].Vault
+	start = time.Now()
+	restored, err := backup.Restore(arch, key, target, "bench-admin")
+	if err != nil {
+		return Table{}, err
+	}
+	restoreCost := time.Since(start)
+	if _, err := target.VerifyAll(nil, nil); err != nil {
+		return Table{}, fmt.Errorf("E8 restored vault verify: %w", err)
+	}
+	t.Rows = append(t.Rows, []string{
+		"verified restore", fmt.Sprintf("%d", restored), fmtDur(restoreCost), fmtRate(restored, restoreCost), "target re-verified end-to-end",
+	})
+
+	// Incremental after touching 5% of records.
+	touched := n / 20
+	if touched == 0 {
+		touched = 1
+	}
+	for i := 0; i < touched; i++ {
+		if err := sub.Store.Correct(correctionOf(recs[i])); err != nil {
+			return Table{}, err
+		}
+	}
+	start = time.Now()
+	inc, err := backup.CreateIncremental(sub.Vault, "bench-admin", key, "offsite", arch.Manifest)
+	if err != nil {
+		return Table{}, err
+	}
+	incCost := time.Since(start)
+	incBlob := backup.Encode(inc)
+	t.Rows = append(t.Rows, []string{
+		"incremental backup", fmt.Sprintf("%d changed", len(inc.Manifest.Entries)), fmtDur(incCost), fmtRate(touched, incCost),
+		fmt.Sprintf("%d KiB vs %d KiB full", len(incBlob)/1024, len(blob)/1024),
+	})
+	return t, nil
+}

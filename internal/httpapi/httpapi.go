@@ -1,0 +1,591 @@
+// Package httpapi exposes a vault over HTTP/JSON for cmd/medvaultd.
+//
+// Every request acts as the principal named in the X-MedVault-Actor header;
+// there is deliberately no anonymous access — HIPAA requires attributable
+// access, and the vault audits every decision. (Production deployments
+// would put real authentication in front; the header models the
+// authenticated identity the same way the CLI's -actor flag does.)
+//
+// Routes:
+//
+//	GET    /healthz                      liveness
+//	POST   /records                      create (body: record JSON)
+//	GET    /records/{id}                 latest version
+//	GET    /records/{id}/versions/{n}    specific version
+//	GET    /records/{id}/history         version metadata
+//	POST   /records/{id}/corrections     amend (body: record JSON)
+//	DELETE /records/{id}                 secure deletion (post-retention)
+//	GET    /search?q=keyword             authorized search
+//	GET    /audit?record=&actor=&denied= audit query
+//	GET    /records/{id}/custody         provenance chain
+//	POST   /verify                       full integrity sweep
+//	POST   /breakglass                   {"reason": "...", "minutes": 60}
+//	GET    /patients/{mrn}/records       patient's records visible to actor
+//	GET    /patients/{mrn}/disclosures   HIPAA accounting of disclosures
+//	GET    /records/{id}/versions/{n}/proof  third-party-verifiable commitment proof
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+	"medvault/internal/core"
+	"medvault/internal/ehr"
+)
+
+// actorHeader names the authenticated principal.
+const actorHeader = "X-MedVault-Actor"
+
+// Server serves a vault over HTTP.
+type Server struct {
+	vault *core.Vault
+	mux   *http.ServeMux
+}
+
+// New builds a Server around v.
+func New(v *core.Vault) *Server {
+	s := &Server{vault: v, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /records", s.handleCreate)
+	s.mux.HandleFunc("GET /records/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /records/{id}/versions/{n}", s.handleGetVersion)
+	s.mux.HandleFunc("GET /records/{id}/history", s.handleHistory)
+	s.mux.HandleFunc("POST /records/{id}/corrections", s.handleCorrect)
+	s.mux.HandleFunc("DELETE /records/{id}", s.handleShred)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /audit", s.handleAudit)
+	s.mux.HandleFunc("GET /records/{id}/custody", s.handleCustody)
+	s.mux.HandleFunc("POST /verify", s.handleVerify)
+	s.mux.HandleFunc("POST /breakglass", s.handleBreakGlass)
+	s.mux.HandleFunc("GET /patients/{mrn}/records", s.handlePatientRecords)
+	s.mux.HandleFunc("GET /patients/{mrn}/disclosures", s.handleDisclosures)
+	s.mux.HandleFunc("GET /records/{id}/versions/{n}/proof", s.handleProof)
+	s.mux.HandleFunc("GET /retention/expired", s.handleExpired)
+	s.mux.HandleFunc("GET /retention/holds", s.handleListHolds)
+	s.mux.HandleFunc("PUT /records/{id}/hold", s.handlePlaceHold)
+	s.mux.HandleFunc("DELETE /records/{id}/hold", s.handleReleaseHold)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeErr maps vault sentinels to HTTP statuses. PHI never appears in
+// error bodies (core errors carry IDs and reasons, not record content).
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrDenied):
+		status = http.StatusForbidden
+	case errors.Is(err, core.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrShredded):
+		status = http.StatusGone
+	case errors.Is(err, core.ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, core.ErrIdentityChanged):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrTampered):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// actor extracts the authenticated principal, failing the request if absent.
+func actor(w http.ResponseWriter, r *http.Request) (string, bool) {
+	a := r.Header.Get(actorHeader)
+	if a == "" {
+		writeJSON(w, http.StatusUnauthorized, errorBody{Error: "missing " + actorHeader + " header"})
+		return "", false
+	}
+	return a, true
+}
+
+// recordPayload is the JSON shape of a record in requests and responses.
+type recordPayload struct {
+	ID        string    `json:"id"`
+	Patient   string    `json:"patient"`
+	MRN       string    `json:"mrn"`
+	Category  string    `json:"category"`
+	Author    string    `json:"author,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	Title     string    `json:"title"`
+	Body      string    `json:"body"`
+	Codes     []string  `json:"codes,omitempty"`
+	Version   uint64    `json:"version,omitempty"`
+}
+
+func toRecord(p recordPayload) ehr.Record {
+	return ehr.Record{
+		ID: p.ID, Patient: p.Patient, MRN: p.MRN,
+		Category: ehr.Category(p.Category), Author: p.Author,
+		CreatedAt: p.CreatedAt, Title: p.Title, Body: p.Body, Codes: p.Codes,
+	}
+}
+
+func fromRecord(rec ehr.Record, ver core.Version) recordPayload {
+	return recordPayload{
+		ID: rec.ID, Patient: rec.Patient, MRN: rec.MRN,
+		Category: string(rec.Category), Author: rec.Author,
+		CreatedAt: rec.CreatedAt, Title: rec.Title, Body: rec.Body,
+		Codes: rec.Codes, Version: ver.Number,
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"system":  s.vault.Name(),
+		"records": s.vault.Len(),
+	})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	var p recordPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	rec := toRecord(p)
+	if rec.Author == "" {
+		rec.Author = a
+	}
+	if rec.CreatedAt.IsZero() {
+		rec.CreatedAt = time.Now().UTC()
+	}
+	ver, err := s.vault.Put(a, rec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, fromRecord(rec, ver))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	rec, ver, err := s.vault.Get(a, r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fromRecord(rec, ver))
+}
+
+func (s *Server) handleGetVersion(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseUint(r.PathValue("n"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "version must be a positive integer"})
+		return
+	}
+	rec, ver, err := s.vault.GetVersion(a, r.PathValue("id"), n)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fromRecord(rec, ver))
+}
+
+type versionPayload struct {
+	Number    uint64    `json:"number"`
+	Author    string    `json:"author"`
+	Timestamp time.Time `json:"timestamp"`
+	CtHash    string    `json:"ciphertext_sha256"`
+	LeafIndex uint64    `json:"commitment_leaf"`
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	hist, err := s.vault.History(a, r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]versionPayload, len(hist))
+	for i, v := range hist {
+		out[i] = versionPayload{
+			Number: v.Number, Author: v.Author, Timestamp: v.Timestamp,
+			CtHash: fmt.Sprintf("%x", v.CtHash), LeafIndex: v.LeafIndex,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	var p recordPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	p.ID = r.PathValue("id")
+	rec := toRecord(p)
+	if rec.Author == "" {
+		rec.Author = a
+	}
+	if rec.CreatedAt.IsZero() {
+		rec.CreatedAt = time.Now().UTC()
+	}
+	ver, err := s.vault.Correct(a, rec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fromRecord(rec, ver))
+}
+
+func (s *Server) handleShred(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	if err := s.vault.Shred(a, r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "shredded", "id": r.PathValue("id")})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	qs := r.URL.Query()["q"]
+	if len(qs) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "missing q parameter"})
+		return
+	}
+	// Multiple q parameters form a conjunctive (AND) query.
+	var ids []string
+	var err error
+	if len(qs) == 1 {
+		ids, err = s.vault.Search(a, qs[0])
+	} else {
+		ids, err = s.vault.SearchAll(a, qs...)
+	}
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "count": len(ids)})
+}
+
+type auditEventPayload struct {
+	Seq       uint64    `json:"seq"`
+	Timestamp time.Time `json:"timestamp"`
+	Actor     string    `json:"actor"`
+	Action    string    `json:"action"`
+	Record    string    `json:"record,omitempty"`
+	Version   uint64    `json:"version,omitempty"`
+	Outcome   string    `json:"outcome"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	q := audit.Query{
+		Record:     r.URL.Query().Get("record"),
+		Actor:      r.URL.Query().Get("actor"),
+		DeniedOnly: r.URL.Query().Get("denied") == "true",
+	}
+	events, err := s.vault.AuditEvents(a, q)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]auditEventPayload, len(events))
+	for i, e := range events {
+		out[i] = auditEventPayload{
+			Seq: e.Seq, Timestamp: e.Timestamp, Actor: e.Actor,
+			Action: string(e.Action), Record: e.Record, Version: e.Version,
+			Outcome: string(e.Outcome), Detail: e.Detail,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type custodyPayload struct {
+	Index     uint64    `json:"index"`
+	Type      string    `json:"type"`
+	Timestamp time.Time `json:"timestamp"`
+	Actor     string    `json:"actor"`
+	System    string    `json:"system"`
+	Peer      string    `json:"peer,omitempty"`
+}
+
+func (s *Server) handleCustody(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	chain, err := s.vault.Provenance(a, r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]custodyPayload, len(chain))
+	for i, e := range chain {
+		out[i] = custodyPayload{
+			Index: e.Index, Type: string(e.Type), Timestamp: e.Timestamp,
+			Actor: e.Actor, System: e.System, Peer: e.Peer,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.vault.VerifyAll(nil, nil)
+	if err != nil {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"status": "INTEGRITY FAILURE",
+			"error":  err.Error(),
+		})
+		return
+	}
+	head := s.vault.Head()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":            "ok",
+		"records_checked":   rep.RecordsChecked,
+		"versions_checked":  rep.VersionsChecked,
+		"audit_events":      rep.AuditEvents,
+		"provenance_chains": rep.ProvenanceChains,
+		"tree_head_size":    head.Size,
+		"tree_head_root":    fmt.Sprintf("%x", head.Root),
+	})
+}
+
+func (s *Server) handlePatientRecords(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	ids, err := s.vault.PatientRecords(a, r.PathValue("mrn"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "count": len(ids)})
+}
+
+type disclosurePayload struct {
+	Timestamp  time.Time `json:"timestamp"`
+	Actor      string    `json:"actor"`
+	Action     string    `json:"action"`
+	Record     string    `json:"record"`
+	Version    uint64    `json:"version,omitempty"`
+	Outcome    string    `json:"outcome"`
+	BreakGlass bool      `json:"break_glass,omitempty"`
+}
+
+func (s *Server) handleDisclosures(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	ds, err := s.vault.AccountingOfDisclosures(a, r.PathValue("mrn"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]disclosurePayload, len(ds))
+	for i, d := range ds {
+		out[i] = disclosurePayload{
+			Timestamp: d.Timestamp, Actor: d.Actor, Action: string(d.Action),
+			Record: d.Record, Version: d.Version, Outcome: string(d.Outcome),
+			BreakGlass: d.BreakGlass,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type proofPayload struct {
+	RecordID  string   `json:"record_id"`
+	Version   uint64   `json:"version"`
+	CtHash    string   `json:"ciphertext_sha256"`
+	LeafIndex uint64   `json:"leaf_index"`
+	Path      []string `json:"inclusion_path"`
+	HeadSize  uint64   `json:"head_size"`
+	HeadRoot  string   `json:"head_root"`
+	HeadTime  string   `json:"head_time"`
+	HeadSig   string   `json:"head_signature"`
+	VaultKey  string   `json:"vault_public_key"`
+}
+
+func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	n, err := strconv.ParseUint(r.PathValue("n"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "version must be a positive integer"})
+		return
+	}
+	proof, err := s.vault.ProveVersion(a, r.PathValue("id"), n)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	path := make([]string, len(proof.Inclusion.Hashes))
+	for i, h := range proof.Inclusion.Hashes {
+		path[i] = fmt.Sprintf("%x", h)
+	}
+	writeJSON(w, http.StatusOK, proofPayload{
+		RecordID:  proof.RecordID,
+		Version:   proof.Version,
+		CtHash:    fmt.Sprintf("%x", proof.CtHash),
+		LeafIndex: proof.LeafIndex,
+		Path:      path,
+		HeadSize:  proof.Head.Size,
+		HeadRoot:  fmt.Sprintf("%x", proof.Head.Root),
+		HeadTime:  proof.Head.Timestamp.Format(time.RFC3339Nano),
+		HeadSig:   fmt.Sprintf("%x", proof.Head.Signature),
+		VaultKey:  s.vault.PublicKey().String(),
+	})
+}
+
+// requireRole gates retention management behind an authz action check,
+// auditing the decision like every other gate.
+func (s *Server) requireArchivist(w http.ResponseWriter, r *http.Request) (string, bool) {
+	a, ok := actor(w, r)
+	if !ok {
+		return "", false
+	}
+	// Holds and sweeps are disposition management: archivist territory.
+	allowed := s.vault.Authz().Check(a, authz.ActShred, "").Allowed
+	for _, cat := range ehr.Categories() {
+		if allowed {
+			break
+		}
+		allowed = s.vault.Authz().Check(a, authz.ActShred, string(cat)).Allowed
+	}
+	if !allowed {
+		writeJSON(w, http.StatusForbidden, errorBody{Error: "retention management requires disposition (shred) permission"})
+		return "", false
+	}
+	return a, true
+}
+
+func (s *Server) handleExpired(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.requireArchivist(w, r); !ok {
+		return
+	}
+	ids := s.vault.ExpiredRecords()
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "count": len(ids)})
+}
+
+func (s *Server) handleListHolds(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.requireArchivist(w, r); !ok {
+		return
+	}
+	holds := s.vault.Retention().Holds()
+	type holdPayload struct {
+		Record string    `json:"record"`
+		Reason string    `json:"reason"`
+		Placed time.Time `json:"placed"`
+	}
+	out := make([]holdPayload, len(holds))
+	for i, h := range holds {
+		out[i] = holdPayload{Record: h.Record, Reason: h.Reason, Placed: h.Placed}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type holdRequest struct {
+	Reason string `json:"reason"`
+}
+
+func (s *Server) handlePlaceHold(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.requireArchivist(w, r)
+	if !ok {
+		return
+	}
+	var req holdRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Reason == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "a hold requires a JSON body with a reason"})
+		return
+	}
+	if err := s.vault.PlaceHold(a, r.PathValue("id"), req.Reason); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "held", "id": r.PathValue("id")})
+}
+
+func (s *Server) handleReleaseHold(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.requireArchivist(w, r)
+	if !ok {
+		return
+	}
+	if err := s.vault.ReleaseHold(a, r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released", "id": r.PathValue("id")})
+}
+
+type breakGlassRequest struct {
+	Reason  string `json:"reason"`
+	Minutes int    `json:"minutes"`
+}
+
+func (s *Server) handleBreakGlass(w http.ResponseWriter, r *http.Request) {
+	a, ok := actor(w, r)
+	if !ok {
+		return
+	}
+	var req breakGlassRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if req.Minutes <= 0 {
+		req.Minutes = 60
+	}
+	if err := s.vault.BreakGlass(a, req.Reason, time.Duration(req.Minutes)*time.Minute); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "granted",
+		"actor":   a,
+		"minutes": req.Minutes,
+	})
+}

@@ -1,0 +1,161 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Plaintext snapshot layout:
+//
+//	magic "MVPX" | u16 version | u32 nDocs { str id | u32 n | str word * n }
+//
+// Postings are rebuilt from the per-document word lists on load. The
+// keywords sit in the snapshot in the clear — that is the point of this
+// baseline, and what the E4 leakage probe demonstrates.
+const (
+	ptMagic   = "MVPX"
+	ptVersion = 1
+)
+
+// Snapshot implements Index.
+func (p *Plaintext) Snapshot() ([]byte, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.WriteString(ptMagic)
+	writeU16(&buf, ptVersion)
+	writeU32(&buf, uint32(len(p.docs)))
+	for _, id := range sortedKeys(p.docs) {
+		writeStr(&buf, id)
+		writeU32(&buf, uint32(len(p.docs[id])))
+		for _, w := range p.docs[id] {
+			writeStr(&buf, w)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadPlaintext reconstructs a plaintext index from a snapshot.
+func LoadPlaintext(snap []byte) (*Plaintext, error) {
+	p := NewPlaintext()
+	r := bytes.NewReader(snap)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != ptMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if ver, err := readU16(r); err != nil || ver != ptVersion {
+		return nil, fmt.Errorf("%w: bad version", ErrCorrupt)
+	}
+	nDocs, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := uint32(0); i < nDocs; i++ {
+		id, err := readStr(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		n, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		words := make([]string, n)
+		for j := range words {
+			if words[j], err = readStr(r); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		p.docs[id] = words
+		for _, w := range words {
+			set, ok := p.postings[w]
+			if !ok {
+				set = make(map[string]bool)
+				p.postings[w] = set
+			}
+			set[id] = true
+		}
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return p, nil
+}
+
+// StorageBytes implements Index.
+func (p *Plaintext) StorageBytes() int {
+	snap, err := p.Snapshot()
+	if err != nil {
+		return 0
+	}
+	return len(snap)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeStr(buf *bytes.Buffer, s string) {
+	writeU32(buf, uint32(len(s)))
+	buf.WriteString(s)
+}
+
+func writeBytes(buf *bytes.Buffer, p []byte) {
+	writeU32(buf, uint32(len(p)))
+	buf.Write(p)
+}
+
+func readU16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readStr(r *bytes.Reader) (string, error) {
+	b, err := readBytesField(r)
+	return string(b), err
+}
+
+func readBytesField(r *bytes.Reader) ([]byte, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > r.Len() {
+		return nil, fmt.Errorf("field length %d exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

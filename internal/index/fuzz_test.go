@@ -1,0 +1,51 @@
+package index
+
+import (
+	"testing"
+
+	"medvault/internal/vcrypto"
+)
+
+// FuzzLoadSSE throws arbitrary bytes at the encrypted-index loader: it must
+// reject garbage without panicking. (Valid snapshots require authenticated
+// decryption, so the fuzzer exercising the framing paths is the point.)
+func FuzzLoadSSE(f *testing.F) {
+	master := vcrypto.DeriveKey(vcrypto.Key{}, "fuzz")
+	s := NewSSE(master)
+	s.Add("d1", "hypertension asthma")
+	snap, err := s.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add([]byte{})
+	f.Add([]byte("MVSX"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := LoadSSE(master, data)
+		if err != nil {
+			return
+		}
+		// A snapshot that loads must behave like an index.
+		idx.Search("hypertension")
+		idx.Len()
+	})
+}
+
+// FuzzLoadPlaintext does the same for the baseline index loader.
+func FuzzLoadPlaintext(f *testing.F) {
+	p := NewPlaintext()
+	p.Add("d1", "hypertension asthma")
+	snap, err := p.Snapshot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(snap)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := LoadPlaintext(data)
+		if err != nil {
+			return
+		}
+		idx.Search("hypertension")
+	})
+}

@@ -1,0 +1,272 @@
+package index
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"medvault/internal/vcrypto"
+)
+
+// SSE is a searchable-symmetric-encryption index. Keywords never appear in
+// its stored form: each keyword is mapped to a pseudorandom token with
+// HMAC-SHA-256 under a secret token key, and every posting list and the
+// document-token table are sealed with AES-GCM under a separate value key
+// before serialization. An adversary holding the index bytes sees only
+// random-looking tokens and ciphertext — sizes and counts, nothing lexical.
+//
+// Search cost is one HMAC plus a hash lookup, the same complexity class as
+// the plaintext index; the paper's required trade-off is a constant factor,
+// not an asymptotic penalty (experiment E4 measures it).
+type SSE struct {
+	mu       sync.RWMutex
+	tokenKey vcrypto.Key
+	valueKey vcrypto.Key
+	postings map[string]map[string]bool // token(hex) -> set of doc IDs (in-memory only)
+	docs     map[string][]string        // doc ID -> its tokens (for secure deletion)
+}
+
+var _ Index = (*SSE)(nil)
+
+// NewSSE returns an empty SSE index keyed from master. Token and value keys
+// are domain-separated derivations, so the same master secret can safely
+// drive the envelope layer elsewhere.
+func NewSSE(master vcrypto.Key) *SSE {
+	return &SSE{
+		tokenKey: vcrypto.DeriveKey(master, "index/token"),
+		valueKey: vcrypto.DeriveKey(master, "index/value"),
+		postings: make(map[string]map[string]bool),
+		docs:     make(map[string][]string),
+	}
+}
+
+// token maps a normalized keyword to its pseudorandom search token.
+func (s *SSE) token(word string) string {
+	return hex.EncodeToString(vcrypto.MAC(s.tokenKey, []byte(word)))
+}
+
+// Add implements Index.
+func (s *SSE) Add(id, text string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(id)
+	words := Tokenize(text)
+	toks := make([]string, 0, len(words))
+	for _, w := range words {
+		tok := s.token(w)
+		toks = append(toks, tok)
+		set, ok := s.postings[tok]
+		if !ok {
+			set = make(map[string]bool)
+			s.postings[tok] = set
+		}
+		set[id] = true
+	}
+	s.docs[id] = toks
+}
+
+// Search implements Index.
+func (s *SSE) Search(keyword string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.postings[s.token(NormalizeQuery(keyword))]
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SearchAll implements Index: conjunctive queries cost one HMAC per keyword
+// plus a set intersection, with the same leakage profile as single-keyword
+// search (the server learns which tokens co-occur in the query, nothing
+// lexical).
+func (s *SSE) SearchAll(keywords ...string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sets := make([]map[string]bool, 0, len(keywords))
+	for _, kw := range keywords {
+		set := s.postings[s.token(NormalizeQuery(kw))]
+		if len(set) == 0 {
+			return nil
+		}
+		sets = append(sets, set)
+	}
+	return intersect(sets)
+}
+
+// Remove implements Index. Because the document's own token list is kept,
+// deletion removes every posting without scanning the whole index — the
+// secure-deletion-from-inverted-index construction of the paper's ref [10].
+func (s *SSE) Remove(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(id)
+}
+
+func (s *SSE) removeLocked(id string) {
+	for _, tok := range s.docs[id] {
+		if set := s.postings[tok]; set != nil {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(s.postings, tok)
+			}
+		}
+	}
+	delete(s.docs, id)
+}
+
+// Len implements Index.
+func (s *SSE) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Snapshot implements Index. Layout:
+//
+//	magic "MVSX" | u16 version | u32 nTokens
+//	  { str token | sealed postings }*     sealed under valueKey, aad=token
+//	sealed docs table                       aad="docs"
+//
+// where a sealed postings blob decrypts to str* doc IDs, and the docs table
+// decrypts to { str docID | u32 n | str token * n }*.
+func (s *SSE) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.WriteString(sseMagic)
+	writeU16(&buf, sseVersion)
+	writeU32(&buf, uint32(len(s.postings)))
+	for _, tok := range sortedKeys(s.postings) {
+		writeStr(&buf, tok)
+		var plain bytes.Buffer
+		ids := make([]string, 0, len(s.postings[tok]))
+		for id := range s.postings[tok] {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		writeU32(&plain, uint32(len(ids)))
+		for _, id := range ids {
+			writeStr(&plain, id)
+		}
+		sealed, err := vcrypto.Seal(s.valueKey, plain.Bytes(), []byte(tok))
+		if err != nil {
+			return nil, fmt.Errorf("index: sealing postings: %w", err)
+		}
+		writeBytes(&buf, sealed)
+	}
+	var docsPlain bytes.Buffer
+	writeU32(&docsPlain, uint32(len(s.docs)))
+	for _, id := range sortedKeys(s.docs) {
+		writeStr(&docsPlain, id)
+		writeU32(&docsPlain, uint32(len(s.docs[id])))
+		for _, tok := range s.docs[id] {
+			writeStr(&docsPlain, tok)
+		}
+	}
+	sealedDocs, err := vcrypto.Seal(s.valueKey, docsPlain.Bytes(), []byte("docs"))
+	if err != nil {
+		return nil, fmt.Errorf("index: sealing docs table: %w", err)
+	}
+	writeBytes(&buf, sealedDocs)
+	return buf.Bytes(), nil
+}
+
+const (
+	sseMagic   = "MVSX"
+	sseVersion = 1
+)
+
+// LoadSSE reconstructs an SSE index from a snapshot using the same master
+// key it was built with. Tampered snapshots fail authenticated decryption.
+func LoadSSE(master vcrypto.Key, snap []byte) (*SSE, error) {
+	s := NewSSE(master)
+	r := bytes.NewReader(snap)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != sseMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if ver, err := readU16(r); err != nil || ver != sseVersion {
+		return nil, fmt.Errorf("%w: bad version", ErrCorrupt)
+	}
+	nTok, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := uint32(0); i < nTok; i++ {
+		tok, err := readStr(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		sealed, err := readBytesField(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		plain, err := vcrypto.Open(s.valueKey, sealed, []byte(tok))
+		if err != nil {
+			return nil, fmt.Errorf("index: opening postings for token %.8s…: %w", tok, err)
+		}
+		pr := bytes.NewReader(plain)
+		n, err := readU32(pr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		set := make(map[string]bool, n)
+		for j := uint32(0); j < n; j++ {
+			id, err := readStr(pr)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			set[id] = true
+		}
+		s.postings[tok] = set
+	}
+	sealedDocs, err := readBytesField(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	docsPlain, err := vcrypto.Open(s.valueKey, sealedDocs, []byte("docs"))
+	if err != nil {
+		return nil, fmt.Errorf("index: opening docs table: %w", err)
+	}
+	dr := bytes.NewReader(docsPlain)
+	nDocs, err := readU32(dr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	for i := uint32(0); i < nDocs; i++ {
+		id, err := readStr(dr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		nt, err := readU32(dr)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		toks := make([]string, nt)
+		for j := range toks {
+			if toks[j], err = readStr(dr); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		}
+		s.docs[id] = toks
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrCorrupt)
+	}
+	return s, nil
+}
+
+// StorageBytes implements Index.
+func (s *SSE) StorageBytes() int {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return 0
+	}
+	return len(snap)
+}

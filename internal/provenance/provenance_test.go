@@ -1,0 +1,274 @@
+package provenance
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"medvault/internal/blockstore"
+	"medvault/internal/vcrypto"
+)
+
+func newTracker(t *testing.T, system string, store blockstore.Store) (*Tracker, *vcrypto.Signer) {
+	t.Helper()
+	signer, err := vcrypto.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store == nil {
+		store = blockstore.NewMemory(0)
+	}
+	tr, err := Open(Config{Store: store, Signer: signer, System: system})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, signer
+}
+
+func TestRecordBuildsChain(t *testing.T) {
+	tr, _ := newTracker(t, "hospital-a", nil)
+	h1 := vcrypto.Hash([]byte("v1"))
+	h2 := vcrypto.Hash([]byte("v2"))
+
+	e1, err := tr.Record("patient-1", EventCreated, "dr-jones", h1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Index != 0 || e1.System != "hospital-a" || e1.PrevHash != ([32]byte{}) {
+		t.Errorf("genesis event malformed: %+v", e1)
+	}
+	e2, err := tr.Record("patient-1", EventCorrected, "dr-smith", h2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Index != 1 || e2.PrevHash != e1.Hash {
+		t.Errorf("chain linkage broken: %+v", e2)
+	}
+	if err := tr.Verify("patient-1", nil); err != nil {
+		t.Errorf("Verify: %v", err)
+	}
+	chain, err := tr.Chain("patient-1")
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("Chain: %d events, err %v", len(chain), err)
+	}
+}
+
+func TestChainsAreIndependentPerRecord(t *testing.T) {
+	tr, _ := newTracker(t, "sys", nil)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Record("a", EventCreated, "x", [32]byte{}, ""); i == 0 && err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Record("b", EventCreated, "x", [32]byte{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	chainA, _ := tr.Chain("a")
+	chainB, _ := tr.Chain("b")
+	if len(chainA) != 3 || len(chainB) != 1 {
+		t.Errorf("chain lengths: a=%d b=%d", len(chainA), len(chainB))
+	}
+	if chainB[0].Index != 0 {
+		t.Error("record b chain did not start at index 0")
+	}
+	if len(tr.Records()) != 2 {
+		t.Errorf("Records() = %v", tr.Records())
+	}
+}
+
+func TestUnknownRecord(t *testing.T) {
+	tr, _ := newTracker(t, "sys", nil)
+	if _, err := tr.Chain("ghost"); !errors.Is(err, ErrUnknownRecord) {
+		t.Errorf("Chain: %v", err)
+	}
+	if err := tr.Verify("ghost", nil); !errors.Is(err, ErrUnknownRecord) {
+		t.Errorf("Verify: %v", err)
+	}
+	if _, err := tr.Custodians("ghost"); !errors.Is(err, ErrUnknownRecord) {
+		t.Errorf("Custodians: %v", err)
+	}
+}
+
+func TestAdoptMigratedHistory(t *testing.T) {
+	source, _ := newTracker(t, "hospital-a", nil)
+	h := vcrypto.Hash([]byte("content"))
+	if _, err := source.Record("p1", EventCreated, "dr-a", h, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := source.Record("p1", EventMigratedOut, "admin-a", h, "hospital-b"); err != nil {
+		t.Fatal(err)
+	}
+	history, err := source.Chain("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	target, _ := newTracker(t, "hospital-b", nil)
+	if err := target.Adopt(history); err != nil {
+		t.Fatalf("Adopt: %v", err)
+	}
+	if _, err := target.Record("p1", EventMigratedIn, "admin-b", h, "hospital-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := target.Verify("p1", nil); err != nil {
+		t.Errorf("cross-system chain failed verification: %v", err)
+	}
+	custodians, err := target.Custodians("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(custodians) != 2 || custodians[0] != "hospital-a" || custodians[1] != "hospital-b" {
+		t.Errorf("custodians = %v", custodians)
+	}
+}
+
+func TestAdoptRejectsTamperedHistory(t *testing.T) {
+	source, _ := newTracker(t, "a", nil)
+	h := vcrypto.Hash([]byte("x"))
+	source.Record("p1", EventCreated, "dr", h, "")
+	source.Record("p1", EventCorrected, "dr", h, "")
+	history, _ := source.Chain("p1")
+
+	// Tamper with the actor of the first event.
+	history[0].Actor = "someone-else"
+	target, _ := newTracker(t, "b", nil)
+	if err := target.Adopt(history); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("tampered history adopted: %v", err)
+	}
+
+	// Re-hash after tampering: the signature check must now fail.
+	history2, _ := source.Chain("p1")
+	history2[0].Actor = "someone-else"
+	history2[0].Hash = eventHash(history2[0])
+	history2[1].PrevHash = history2[0].Hash
+	history2[1].Hash = eventHash(history2[1])
+	target2, _ := newTracker(t, "b", nil)
+	if err := target2.Adopt(history2); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("re-hashed forged history adopted: %v", err)
+	}
+}
+
+func TestVerifyTrustedSigners(t *testing.T) {
+	tr, signer := newTracker(t, "a", nil)
+	tr.Record("p1", EventCreated, "dr", [32]byte{}, "")
+	trusted := map[string]bool{signer.Public().String(): true}
+	if err := tr.Verify("p1", trusted); err != nil {
+		t.Errorf("trusted signer rejected: %v", err)
+	}
+	other, _ := vcrypto.NewSigner()
+	onlyOther := map[string]bool{other.Public().String(): true}
+	if err := tr.Verify("p1", onlyOther); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("untrusted signer accepted: %v", err)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	signer, err := vcrypto.NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Open(Config{Store: store, Signer: signer, System: "sys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := vcrypto.Hash([]byte("v"))
+	tr.Record("p1", EventCreated, "dr", h, "")
+	tr.Record("p1", EventCorrected, "dr", h, "")
+	tr.Record("p2", EventCreated, "dr", h, "")
+
+	re, err := Open(Config{Store: store, Signer: signer, System: "sys"})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if n, err := re.VerifyAll(nil); err != nil || n != 2 {
+		t.Errorf("VerifyAll after reopen: n=%d err=%v", n, err)
+	}
+	chain, err := re.Chain("p1")
+	if err != nil || len(chain) != 2 {
+		t.Fatalf("reopened chain: %d events, %v", len(chain), err)
+	}
+	// Chain continues correctly after reopen.
+	if _, err := re.Record("p1", EventBackedUp, "op", h, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Verify("p1", nil); err != nil {
+		t.Errorf("verify after continued append: %v", err)
+	}
+}
+
+func TestOpenRejectsTamperedPersistence(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	signer, _ := vcrypto.NewSigner()
+	tr, err := Open(Config{Store: store, Signer: signer, System: "sys"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record("p1", EventCreated, "dr", [32]byte{}, "")
+
+	// Rebuild a store with the event's actor edited (hash left stale).
+	var payloads [][]byte
+	store.Scan(func(_ blockstore.Ref, data []byte) error {
+		payloads = append(payloads, append([]byte(nil), data...))
+		return nil
+	})
+	e, err := decodeEvent(payloads[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Actor = "forged"
+	evil := blockstore.NewMemory(0)
+	evil.Append(encodeEvent(e))
+	if _, err := Open(Config{Store: evil, Signer: signer, System: "sys"}); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("tampered persistence accepted: %v", err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	signer, _ := vcrypto.NewSigner()
+	e := Event{
+		Record:      "rec-1",
+		Index:       7,
+		Type:        EventMigratedOut,
+		Timestamp:   time.Unix(0, 99).UTC(),
+		Actor:       "admin",
+		System:      "a",
+		Peer:        "b",
+		ContentHash: vcrypto.Hash([]byte("c")),
+		PrevHash:    vcrypto.Hash([]byte("p")),
+		SignerKey:   signer.Public(),
+	}
+	e.Hash = eventHash(e)
+	e.Signature = signer.Sign(e.Hash[:])
+	got, err := decodeEvent(encodeEvent(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Record != e.Record || got.Index != e.Index || got.Type != e.Type ||
+		!got.Timestamp.Equal(e.Timestamp) || got.Actor != e.Actor ||
+		got.System != e.System || got.Peer != e.Peer ||
+		got.ContentHash != e.ContentHash || got.Hash != e.Hash ||
+		got.SignerKey.String() != e.SignerKey.String() {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, e)
+	}
+	if _, err := decodeEvent([]byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage accepted: %v", err)
+	}
+}
+
+func TestInjectedClock(t *testing.T) {
+	store := blockstore.NewMemory(0)
+	signer, _ := vcrypto.NewSigner()
+	fixed := time.Date(2050, 7, 1, 0, 0, 0, 0, time.UTC)
+	tr, err := Open(Config{Store: store, Signer: signer, System: "sys", Now: func() time.Time { return fixed }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tr.Record("p", EventCreated, "dr", [32]byte{}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Timestamp.Equal(fixed) {
+		t.Errorf("timestamp = %v, want %v", e.Timestamp, fixed)
+	}
+}

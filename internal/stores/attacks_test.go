@@ -1,0 +1,294 @@
+package stores_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"medvault/internal/clock"
+	"medvault/internal/ehr"
+	"medvault/internal/stores"
+	"medvault/internal/stores/cryptonly"
+	"medvault/internal/stores/objstore"
+	"medvault/internal/stores/reldb"
+	"medvault/internal/vcrypto"
+	"medvault/internal/worm"
+)
+
+// These tests pin down the per-model security semantics that experiment E3
+// reports: which insider attacks each storage model detects and which it
+// silently accepts. A failing test here means the compliance matrix would
+// lie.
+
+func flipByte(b []byte) []byte {
+	b[len(b)/2] ^= 0xFF
+	return b
+}
+
+func TestCryptOnlyDetectsBitFlipButNotReplayOrKeyedRewrite(t *testing.T) {
+	master, _ := vcrypto.NewKey()
+	s := cryptonly.New(master)
+	g := ehr.NewGenerator(1, time.Time{})
+	orig := g.Next()
+	if err := s.Put(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flip: GCM catches it.
+	if err := s.TamperRecord(orig.ID, flipByte); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); !errors.Is(err, stores.ErrTampered) {
+		t.Errorf("bit flip undetected: %v", err)
+	}
+
+	// Reset with a corrected version, then replay the original ciphertext:
+	// a valid ciphertext for this ID — undetected by design.
+	s2 := cryptonly.New(master)
+	if err := s2.Put(orig); err != nil {
+		t.Fatal(err)
+	}
+	corr := g.Correction(orig)
+	if err := s2.Correct(corr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ReplayOldVersion(orig.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Verify(); err != nil {
+		t.Errorf("replay unexpectedly detected (the model cannot): %v", err)
+	}
+	got, err := s2.Get(orig.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Error("replay did not restore the old content")
+	}
+
+	// Insider with the master key rewrites arbitrarily — undetected.
+	forged := corr
+	forged.Body = "patient was never treated here"
+	if err := s2.RewriteWithKey(forged); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Verify(); err != nil {
+		t.Errorf("keyed rewrite unexpectedly detected: %v", err)
+	}
+}
+
+func TestRelDBDetectsNothing(t *testing.T) {
+	s := reldb.New()
+	g := ehr.NewGenerator(2, time.Time{})
+	orig := g.Next()
+	if err := s.Put(orig); err != nil {
+		t.Fatal(err)
+	}
+
+	// A format-aware insider decodes the row, edits a field, re-encodes.
+	err := s.TamperRecord(orig.ID, func(row []byte) []byte {
+		rec, derr := ehr.Decode(row)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		rec.Body = "no adverse event occurred"
+		return ehr.Encode(rec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("relational model has no integrity check, yet Verify failed: %v", err)
+	}
+	got, err := s.Get(orig.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Body != "no adverse event occurred" {
+		t.Error("tampered row not served")
+	}
+
+	// Replay after a correction: also invisible.
+	corr := g.Correction(got)
+	if err := s.Correct(corr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplayOldVersion(orig.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("replay detected by a model with no mechanism: %v", err)
+	}
+}
+
+func TestRelDBPlaintextExposure(t *testing.T) {
+	s := reldb.New()
+	rec := ehr.NewGenerator(3, time.Time{}).Next()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	raw := s.RawBytes()
+	if !bytes.Contains(raw, []byte(rec.Patient)) {
+		t.Error("expected plaintext patient name on disk (the model stores in the clear)")
+	}
+	// Freed sectors retain plaintext after disposal.
+	if err := s.Dispose(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(s.RawBytes(), []byte(rec.Patient)) {
+		t.Error("freed sectors should retain the plaintext row")
+	}
+}
+
+func TestObjectStoreDetectsContentTamperButNotCatalogAttacks(t *testing.T) {
+	s := objstore.New()
+	g := ehr.NewGenerator(4, time.Time{})
+	a, b := g.Next(), g.Next()
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Catalog substitution: point record a at record b's object. Every hash
+	// verifies; the attack is invisible to the model.
+	if err := s.SubstituteCatalog(a.ID, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("catalog substitution unexpectedly detected: %v", err)
+	}
+	got, err := s.Get(a.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Patient != b.Patient {
+		t.Error("substitution did not take effect")
+	}
+
+	// Rollback via catalog: also invisible.
+	corr := g.Correction(b)
+	if err := s.Correct(corr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplayOldVersion(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Errorf("catalog rollback unexpectedly detected: %v", err)
+	}
+	// Rollback with no history is refused.
+	fresh := g.Next()
+	if err := s.Put(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReplayOldVersion(fresh.ID); !errors.Is(err, stores.ErrNotFound) {
+		t.Errorf("replay with no history: %v", err)
+	}
+}
+
+func TestObjectStorePlaintextAtRest(t *testing.T) {
+	s := objstore.New()
+	rec := ehr.NewGenerator(6, time.Time{}).Next()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(s.RawBytes(), []byte(rec.Patient)) {
+		t.Error("object store holds plaintext; RawBytes should reveal it")
+	}
+}
+
+func TestWORMDetectsCiphertextTamper(t *testing.T) {
+	master, _ := vcrypto.NewKey()
+	vc := clock.NewVirtual(time.Date(2080, 1, 1, 0, 0, 0, 0, time.UTC))
+	s := worm.New(worm.Config{Master: master, Clock: vc})
+	recs := ehr.NewGenerator(7, time.Time{}).Corpus(10)
+	for _, r := range recs {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("clean WORM failed verify: %v", err)
+	}
+	if err := s.TamperRecord(recs[4].ID, flipByte); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); !errors.Is(err, stores.ErrTampered) {
+		t.Errorf("WORM missed ciphertext tamper: %v", err)
+	}
+	if _, err := s.Get(recs[4].ID); !errors.Is(err, stores.ErrTampered) {
+		t.Errorf("WORM served tampered record: %v", err)
+	}
+}
+
+func TestWORMRetentionAndShred(t *testing.T) {
+	master, _ := vcrypto.NewKey()
+	created := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	vc := clock.NewVirtual(created)
+	s := worm.New(worm.Config{Master: master, Clock: vc})
+	g := ehr.NewGenerator(8, created)
+	rec := g.Next()
+	rec.CreatedAt = created
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Early disposal refused.
+	if err := s.Dispose(rec.ID); err == nil {
+		t.Fatal("disposal during retention accepted")
+	}
+	// Legal hold blocks even after expiry.
+	vc.Advance(40 * 365 * 24 * time.Hour)
+	if err := s.Retention().PlaceHold(rec.ID, "litigation"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Dispose(rec.ID); err == nil {
+		t.Fatal("disposal under hold accepted")
+	}
+	s.Retention().ReleaseHold(rec.ID)
+
+	raw := s.RawBytes()
+	if bytes.Contains(raw, []byte(rec.Patient)) {
+		t.Fatal("WORM leaked plaintext at rest")
+	}
+	if err := s.Dispose(rec.ID); err != nil {
+		t.Fatalf("Dispose after retention: %v", err)
+	}
+	// Ciphertext remains in the append-only log but is unreadable: the DEK
+	// is gone. No plaintext anywhere in raw bytes.
+	if bytes.Contains(s.RawBytes(), []byte(rec.Patient)) {
+		t.Error("plaintext recoverable after shred")
+	}
+	if _, err := s.Get(rec.ID); !errors.Is(err, stores.ErrNotFound) {
+		t.Errorf("Get after shred: %v", err)
+	}
+	// ID reuse after shred is refused (no silent resurrection).
+	if err := s.Put(rec); err == nil {
+		t.Error("shredded ID reused")
+	}
+}
+
+func TestWORMHeadConsistency(t *testing.T) {
+	master, _ := vcrypto.NewKey()
+	vc := clock.NewVirtual(time.Date(2080, 1, 1, 0, 0, 0, 0, time.UTC))
+	s := worm.New(worm.Config{Master: master, Clock: vc})
+	g := ehr.NewGenerator(9, time.Time{})
+	for i := 0; i < 5; i++ {
+		if err := s.Put(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	remembered := s.Head()
+	for i := 0; i < 5; i++ {
+		if err := s.Put(g.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckExtends(remembered); err != nil {
+		t.Errorf("honest growth failed consistency: %v", err)
+	}
+}

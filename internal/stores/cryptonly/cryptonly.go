@@ -1,0 +1,270 @@
+// Package cryptonly implements the paper's "commercial encryption solution"
+// baseline: records are AES-GCM encrypted at rest under one store-wide
+// master key, and that is the entire security story.
+//
+// The paper's critique, which experiments E1/E3/E5 demonstrate on this
+// implementation: "such schemes do not protect against malicious insiders.
+// Moreover, such encryption based solutions do not account for maintaining
+// provenance information." Concretely:
+//
+//   - Corrections overwrite in place; no history survives.
+//   - GCM detects bit flips, but an insider who replays an older valid
+//     ciphertext (rollback) or who holds the master key rewrites records
+//     undetectably — there is no external commitment to compare against.
+//   - Disposal deletes the reference, but freed ciphertext remains on the
+//     medium and the store-wide key still decrypts it: no per-record
+//     crypto-shredding is possible with a single key.
+//   - Search must decrypt and scan: there is no index (and hence,
+//     accidentally, no index leakage).
+package cryptonly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"medvault/internal/ehr"
+	"medvault/internal/index"
+	"medvault/internal/stores"
+	"medvault/internal/vcrypto"
+)
+
+// Store is the encryption-only baseline.
+type Store struct {
+	mu     sync.RWMutex
+	master vcrypto.Key
+	blobs  map[string][]byte // id -> current ciphertext (mutable in place)
+	freed  [][]byte          // simulated freed sectors: overwritten/deleted blobs
+	prev   map[string][]byte // id -> previous ciphertext (what an insider could replay)
+}
+
+var (
+	_ stores.Store      = (*Store)(nil)
+	_ stores.Tamperable = (*Store)(nil)
+	_ stores.Replayable = (*Store)(nil)
+)
+
+// New returns an empty encryption-only store keyed by master.
+func New(master vcrypto.Key) *Store {
+	return &Store{
+		master: master,
+		blobs:  make(map[string][]byte),
+		prev:   make(map[string][]byte),
+	}
+}
+
+// Name implements stores.Store.
+func (s *Store) Name() string { return "crypt-only" }
+
+// Put implements stores.Store.
+func (s *Store) Put(rec ehr.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[rec.ID]; ok {
+		return fmt.Errorf("%w: %s", stores.ErrExists, rec.ID)
+	}
+	ct, err := vcrypto.Seal(s.master, ehr.Encode(rec), []byte(rec.ID))
+	if err != nil {
+		return fmt.Errorf("cryptonly: sealing %s: %w", rec.ID, err)
+	}
+	s.blobs[rec.ID] = ct
+	return nil
+}
+
+// Get implements stores.Store.
+func (s *Store) Get(id string) (ehr.Record, error) {
+	s.mu.RLock()
+	ct, ok := s.blobs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return ehr.Record{}, fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	pt, err := vcrypto.Open(s.master, ct, []byte(id))
+	if err != nil {
+		return ehr.Record{}, fmt.Errorf("%w: %s: %v", stores.ErrTampered, id, err)
+	}
+	return ehr.Decode(pt)
+}
+
+// Correct implements stores.Store: an in-place overwrite. The previous
+// ciphertext moves to the freed-sector list (and stays replayable).
+func (s *Store) Correct(rec ehr.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.blobs[rec.ID]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, rec.ID)
+	}
+	ct, err := vcrypto.Seal(s.master, ehr.Encode(rec), []byte(rec.ID))
+	if err != nil {
+		return fmt.Errorf("cryptonly: sealing correction of %s: %w", rec.ID, err)
+	}
+	s.freed = append(s.freed, old)
+	s.prev[rec.ID] = old
+	s.blobs[rec.ID] = ct
+	return nil
+}
+
+// Search implements stores.Store by decrypt-and-scan over every record.
+func (s *Store) Search(keyword string) ([]string, error) {
+	kw := index.NormalizeQuery(keyword)
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.blobs))
+	for id := range s.blobs {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	var out []string
+	for _, id := range ids {
+		rec, err := s.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("cryptonly: scanning %s: %w", id, err)
+		}
+		for _, w := range index.Tokenize(rec.SearchText()) {
+			if w == kw {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Dispose implements stores.Store: the reference is dropped, but the
+// ciphertext lingers in freed sectors and the master key still exists —
+// the E5 probe recovers the plaintext from RawBytes plus the key.
+func (s *Store) Dispose(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ct, ok := s.blobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	s.freed = append(s.freed, ct)
+	delete(s.blobs, id)
+	delete(s.prev, id)
+	return nil
+}
+
+// Verify implements stores.Store: GCM-authenticated decryption of every
+// record. Detects bit rot and ciphertext corruption; cannot detect replay
+// of an older valid ciphertext.
+func (s *Store) Verify() error {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.blobs))
+	for id := range s.blobs {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	for _, id := range ids {
+		if _, err := s.Get(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len implements stores.Store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blobs)
+}
+
+// StorageBytes implements stores.Store.
+func (s *Store) StorageBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// RawBytes implements stores.Store: live blobs plus freed sectors.
+func (s *Store) RawBytes() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sb strings.Builder
+	for _, id := range sortedIDs(s.blobs) {
+		sb.Write(s.blobs[id])
+	}
+	for _, f := range s.freed {
+		sb.Write(f)
+	}
+	return []byte(sb.String())
+}
+
+// MasterKey exposes the store-wide key: the E5 probe models an insider who
+// has it (a single shared key cannot be withheld from the storage tier).
+func (s *Store) MasterKey() vcrypto.Key { return s.master }
+
+// FreedSectors returns the freed ciphertexts for the residual probe.
+func (s *Store) FreedSectors() [][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]byte, len(s.freed))
+	copy(out, s.freed)
+	return out
+}
+
+// TamperRecord implements stores.Tamperable.
+func (s *Store) TamperRecord(id string, mutate func([]byte) []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ct, ok := s.blobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	s.blobs[id] = mutate(append([]byte(nil), ct...))
+	return nil
+}
+
+// ReplayOldVersion implements stores.Replayable: restore the pre-correction
+// ciphertext. It is a valid ciphertext for this record ID, so GCM accepts
+// it — the attack the paper's insider performs.
+func (s *Store) ReplayOldVersion(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.prev[id]
+	if !ok {
+		return fmt.Errorf("%w: no prior version of %s captured", stores.ErrNotFound, id)
+	}
+	s.blobs[id] = old
+	return nil
+}
+
+// RewriteWithKey models the strongest insider: one who holds the master key
+// and rewrites a record's content entirely, producing a fresh valid
+// ciphertext. No mechanism in this storage model can detect it.
+func (s *Store) RewriteWithKey(rec ehr.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[rec.ID]; !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, rec.ID)
+	}
+	ct, err := vcrypto.Seal(s.master, ehr.Encode(rec), []byte(rec.ID))
+	if err != nil {
+		return err
+	}
+	s.blobs[rec.ID] = ct
+	return nil
+}
+
+func sortedIDs(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

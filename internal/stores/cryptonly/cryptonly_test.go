@@ -1,0 +1,57 @@
+package cryptonly
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"medvault/internal/ehr"
+	"medvault/internal/vcrypto"
+)
+
+func TestFreedSectorsAccumulate(t *testing.T) {
+	master, err := vcrypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(master)
+	rec := ehr.Record{
+		ID: "r1", MRN: "m", Patient: "P", Category: ehr.CategoryClinical,
+		Author: "dr", CreatedAt: time.Unix(0, 0).UTC(), Title: "t", Body: "v1",
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.FreedSectors()); n != 0 {
+		t.Fatalf("freed sectors before any overwrite: %d", n)
+	}
+	rec.Body = "v2"
+	if err := s.Correct(rec); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.FreedSectors()); n != 1 {
+		t.Fatalf("freed after correct: %d, want 1", n)
+	}
+	if err := s.Dispose(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	freed := s.FreedSectors()
+	if len(freed) != 2 {
+		t.Fatalf("freed after dispose: %d, want 2", len(freed))
+	}
+	// The model's fatal flaw, explicitly: the surviving master key decrypts
+	// the freed v1 ciphertext.
+	pt, err := vcrypto.Open(s.MasterKey(), freed[0], []byte(rec.ID))
+	if err != nil {
+		t.Fatalf("freed sector should decrypt under the master key: %v", err)
+	}
+	got, err := ehr.Decode(pt)
+	if err != nil || got.Body != "v1" {
+		t.Errorf("recovered %q, want v1", got.Body)
+	}
+	// RawBytes covers live + freed.
+	raw := s.RawBytes()
+	if !bytes.Contains(raw, freed[0]) {
+		t.Error("RawBytes missing freed sector")
+	}
+}

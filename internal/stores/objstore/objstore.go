@@ -1,0 +1,280 @@
+// Package objstore implements the paper's object-storage baseline: a
+// content-addressed store where "document content hashes are used as object
+// IDs to locate documents" (the paper's reference [8], Mesnier et al.).
+//
+// Content addressing gives object integrity for free — an object's bytes
+// must hash to its ID — and the paper credits the model for exactly that:
+// "information integrity can be easily assured". The weaknesses the paper
+// identifies, which the experiments demonstrate here:
+//
+//   - Objects are plaintext: no confidentiality at rest.
+//   - The model is read-optimized and write-once per object; corrections
+//     require writing a whole new object and updating an *external mutable
+//     catalog* mapping record ID → current object. That catalog is exactly
+//     as unprotected as a relational row: an insider edits it to point at
+//     any object (rollback or substitution) without failing any hash check.
+//   - There is no keyword index; search is a full scan.
+//   - Disposal removes the object, but freed plaintext lingers on media.
+package objstore
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"medvault/internal/ehr"
+	"medvault/internal/index"
+	"medvault/internal/stores"
+	"medvault/internal/vcrypto"
+)
+
+// Store is the content-addressed baseline.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]byte   // content hash (hex) -> bytes; write-once
+	catalog map[string][]string // record ID -> object hash history (mutable!)
+	freed   [][]byte            // freed sectors from disposals
+}
+
+var (
+	_ stores.Store      = (*Store)(nil)
+	_ stores.Replayable = (*Store)(nil)
+)
+
+// New returns an empty object store.
+func New() *Store {
+	return &Store{
+		objects: make(map[string][]byte),
+		catalog: make(map[string][]string),
+	}
+}
+
+// Name implements stores.Store.
+func (s *Store) Name() string { return "object-store" }
+
+// put stores content and returns its address.
+func (s *Store) putObject(content []byte) string {
+	h := vcrypto.Hash(content)
+	addr := hex.EncodeToString(h[:])
+	if _, ok := s.objects[addr]; !ok {
+		s.objects[addr] = content
+	}
+	return addr
+}
+
+// Put implements stores.Store.
+func (s *Store) Put(rec ehr.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.catalog[rec.ID]; ok {
+		return fmt.Errorf("%w: %s", stores.ErrExists, rec.ID)
+	}
+	addr := s.putObject(ehr.Encode(rec))
+	s.catalog[rec.ID] = []string{addr}
+	return nil
+}
+
+// Get implements stores.Store, verifying the content address on read.
+func (s *Store) Get(id string) (ehr.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.getLocked(id)
+}
+
+func (s *Store) getLocked(id string) (ehr.Record, error) {
+	hist, ok := s.catalog[id]
+	if !ok || len(hist) == 0 {
+		return ehr.Record{}, fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	addr := hist[len(hist)-1]
+	content, ok := s.objects[addr]
+	if !ok {
+		return ehr.Record{}, fmt.Errorf("%w: %s: object %.12s… missing", stores.ErrTampered, id, addr)
+	}
+	h := vcrypto.Hash(content)
+	if hex.EncodeToString(h[:]) != addr {
+		return ehr.Record{}, fmt.Errorf("%w: %s: content does not match address", stores.ErrTampered, id)
+	}
+	return ehr.Decode(content)
+}
+
+// Correct implements stores.Store: a whole new object plus a catalog update.
+// The object layer is immutable; the catalog is the mutable weak point.
+func (s *Store) Correct(rec ehr.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist, ok := s.catalog[rec.ID]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, rec.ID)
+	}
+	addr := s.putObject(ehr.Encode(rec))
+	s.catalog[rec.ID] = append(hist, addr)
+	return nil
+}
+
+// Search implements stores.Store by scanning every object: the model has no
+// keyword index (it is optimized for read-by-address, not search).
+func (s *Store) Search(keyword string) ([]string, error) {
+	kw := index.NormalizeQuery(keyword)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for id := range s.catalog {
+		rec, err := s.getLocked(id)
+		if err != nil {
+			return nil, fmt.Errorf("objstore: scanning %s: %w", id, err)
+		}
+		for _, w := range index.Tokenize(rec.SearchText()) {
+			if w == kw {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Dispose implements stores.Store. Objects whose content is still referenced
+// by another record survive (content addressing deduplicates); otherwise the
+// plaintext bytes move to freed sectors.
+func (s *Store) Dispose(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist, ok := s.catalog[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	delete(s.catalog, id)
+	refs := make(map[string]bool)
+	for _, h := range s.catalog {
+		for _, addr := range h {
+			refs[addr] = true
+		}
+	}
+	for _, addr := range hist {
+		if !refs[addr] {
+			if content, ok := s.objects[addr]; ok {
+				s.freed = append(s.freed, content)
+				delete(s.objects, addr)
+			}
+		}
+	}
+	return nil
+}
+
+// Verify implements stores.Store: every catalogued object must exist and
+// hash to its address. Catalog manipulation pointing at a *different valid
+// object* passes — that is the E3 result for this model.
+func (s *Store) Verify() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id := range s.catalog {
+		if _, err := s.getLocked(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len implements stores.Store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.catalog)
+}
+
+// StorageBytes implements stores.Store.
+func (s *Store) StorageBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, content := range s.objects {
+		n += int64(len(content))
+	}
+	return n
+}
+
+// RawBytes implements stores.Store: all objects plus freed sectors, plaintext.
+func (s *Store) RawBytes() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []byte
+	for _, addr := range sortedKeys(s.objects) {
+		out = append(out, s.objects[addr]...)
+	}
+	for _, f := range s.freed {
+		out = append(out, f...)
+	}
+	return out
+}
+
+// ReplayOldVersion implements stores.Replayable by editing the mutable
+// catalog to point back at the previous object — every hash check still
+// passes, because the old object is genuine.
+func (s *Store) ReplayOldVersion(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist, ok := s.catalog[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	if len(hist) < 2 {
+		return fmt.Errorf("%w: no prior version of %s", stores.ErrNotFound, id)
+	}
+	s.catalog[id] = hist[:len(hist)-1]
+	return nil
+}
+
+// CorruptObject models an insider editing the object's disk blocks in place:
+// the bytes change but the address does not. Content addressing catches this
+// on the next read — the model's one genuine integrity strength.
+func (s *Store) CorruptObject(id string, mutate func([]byte) []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist, ok := s.catalog[id]
+	if !ok || len(hist) == 0 {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	addr := hist[len(hist)-1]
+	content, ok := s.objects[addr]
+	if !ok {
+		return fmt.Errorf("%w: object %.12s…", stores.ErrNotFound, addr)
+	}
+	s.objects[addr] = mutate(append([]byte(nil), content...))
+	return nil
+}
+
+// SubstituteCatalog models an insider pointing record id at an arbitrary
+// existing object (e.g. another patient's record). Content addressing
+// cannot catch it: the object is valid, just wrong.
+func (s *Store) SubstituteCatalog(id, otherID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hist, ok := s.catalog[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	other, ok := s.catalog[otherID]
+	if !ok || len(other) == 0 {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, otherID)
+	}
+	s.catalog[id] = append(hist, other[len(other)-1])
+	return nil
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,212 @@
+// Package reldb implements the paper's relational-database baseline: a
+// mutable heap of plaintext rows with a B-tree primary index and a plaintext
+// inverted keyword index.
+//
+// This is the fast path every early records system took, and the paper's
+// verdict on it — "geared more towards performance rather than security" —
+// is what experiments E1–E5 quantify on this implementation:
+//
+//   - Rows are plaintext: anyone with disk access reads EPHI directly.
+//   - Updates and deletes are in place; freed sectors retain old plaintext.
+//   - There is no integrity mechanism at all: Verify has nothing to check,
+//     and every insider modification goes undetected.
+//   - The keyword index is plaintext: its stored form leaks the entire
+//     vocabulary (the paper's "Cancer" inference).
+package reldb
+
+import (
+	"fmt"
+	"sync"
+
+	"medvault/internal/btree"
+	"medvault/internal/ehr"
+	"medvault/internal/index"
+	"medvault/internal/stores"
+)
+
+// Store is the relational baseline.
+type Store struct {
+	mu    sync.RWMutex
+	heap  [][]byte                 // rowid -> encoded record (mutable in place)
+	pk    *btree.Tree[string, int] // primary-key index: id -> rowid
+	idx   *index.Plaintext         // keyword index, in the clear
+	prev  map[string][]byte        // id -> previous row image (replay source)
+	freed [][]byte                 // freed sectors from updates/deletes
+	live  int
+}
+
+var (
+	_ stores.Store      = (*Store)(nil)
+	_ stores.Tamperable = (*Store)(nil)
+	_ stores.Replayable = (*Store)(nil)
+)
+
+// New returns an empty relational store.
+func New() *Store {
+	return &Store{
+		pk:   btree.New[string, int](32),
+		idx:  index.NewPlaintext(),
+		prev: make(map[string][]byte),
+	}
+}
+
+// Name implements stores.Store.
+func (s *Store) Name() string { return "relational" }
+
+// Put implements stores.Store.
+func (s *Store) Put(rec ehr.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pk.Get(rec.ID); ok {
+		return fmt.Errorf("%w: %s", stores.ErrExists, rec.ID)
+	}
+	s.heap = append(s.heap, ehr.Encode(rec))
+	s.pk.Put(rec.ID, len(s.heap)-1)
+	s.idx.Add(rec.ID, rec.SearchText())
+	s.live++
+	return nil
+}
+
+// Get implements stores.Store. There is no integrity check to fail: whatever
+// bytes are in the row decode as the record.
+func (s *Store) Get(id string) (ehr.Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	row, ok := s.pk.Get(id)
+	if !ok {
+		return ehr.Record{}, fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	return ehr.Decode(s.heap[row])
+}
+
+// Correct implements stores.Store: an in-place row update.
+func (s *Store) Correct(rec ehr.Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.pk.Get(rec.ID)
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, rec.ID)
+	}
+	old := s.heap[row]
+	s.freed = append(s.freed, old)
+	s.prev[rec.ID] = old
+	s.heap[row] = ehr.Encode(rec)
+	s.idx.Add(rec.ID, rec.SearchText())
+	return nil
+}
+
+// Search implements stores.Store via the plaintext inverted index.
+func (s *Store) Search(keyword string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx.Search(keyword), nil
+}
+
+// Dispose implements stores.Store: a DELETE. The row image lingers in freed
+// sectors, in plaintext.
+func (s *Store) Dispose(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.pk.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	s.freed = append(s.freed, s.heap[row])
+	s.heap[row] = nil
+	s.pk.Delete(id)
+	s.idx.Remove(id)
+	delete(s.prev, id)
+	s.live--
+	return nil
+}
+
+// Verify implements stores.Store. The relational model has no integrity
+// mechanism: this checks only that rows still decode, which an insider's
+// well-formed edit passes. That emptiness is the measured result of E3.
+func (s *Store) Verify() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var err error
+	s.pk.Ascend(func(id string, row int) bool {
+		if _, derr := ehr.Decode(s.heap[row]); derr != nil {
+			err = fmt.Errorf("%w: row for %s undecodable: %v", stores.ErrTampered, id, derr)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// Len implements stores.Store.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.live
+}
+
+// StorageBytes implements stores.Store: live rows plus index.
+func (s *Store) StorageBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	s.pk.Ascend(func(_ string, row int) bool {
+		n += int64(len(s.heap[row]))
+		return true
+	})
+	return n + int64(s.idx.StorageBytes())
+}
+
+// RawBytes implements stores.Store: all rows, freed sectors, and the
+// plaintext index snapshot — everything an insider with the disk sees.
+func (s *Store) RawBytes() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []byte
+	for _, row := range s.heap {
+		out = append(out, row...)
+	}
+	for _, f := range s.freed {
+		out = append(out, f...)
+	}
+	if snap, err := s.idx.Snapshot(); err == nil {
+		out = append(out, snap...)
+	}
+	return out
+}
+
+// Index exposes the plaintext index for the leakage probe.
+func (s *Store) Index() *index.Plaintext { return s.idx }
+
+// TamperRecord implements stores.Tamperable.
+func (s *Store) TamperRecord(id string, mutate func([]byte) []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, ok := s.pk.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	s.heap[row] = mutate(append([]byte(nil), s.heap[row]...))
+	return nil
+}
+
+// ReplayOldVersion implements stores.Replayable.
+func (s *Store) ReplayOldVersion(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.prev[id]
+	if !ok {
+		return fmt.Errorf("%w: no prior version of %s captured", stores.ErrNotFound, id)
+	}
+	row, ok := s.pk.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", stores.ErrNotFound, id)
+	}
+	s.heap[row] = old
+	return nil
+}

@@ -1,0 +1,67 @@
+package reldb
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"medvault/internal/ehr"
+)
+
+func TestPlaintextIndexExposed(t *testing.T) {
+	s := New()
+	rec := ehr.Record{
+		ID: "r1", MRN: "m", Patient: "P", Category: ehr.CategoryClinical,
+		Author: "dr", CreatedAt: time.Unix(0, 0).UTC(),
+		Title: "t", Body: "oncology consult scheduled",
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	// The model's index is plaintext: its vocabulary is readable, which is
+	// exactly what the E4 leakage probe demonstrates.
+	terms := s.Index().Terms()
+	found := false
+	for _, w := range terms {
+		if w == "oncology" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("index terms = %v, expected to contain the diagnosis keyword", terms)
+	}
+	snap, err := s.Index().Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(snap, []byte("oncology")) {
+		t.Error("plaintext index snapshot unexpectedly hides keywords")
+	}
+}
+
+func TestCorrectUpdatesIndexPostings(t *testing.T) {
+	s := New()
+	rec := ehr.Record{
+		ID: "r1", MRN: "m", Patient: "P", Category: ehr.CategoryClinical,
+		Author: "dr", CreatedAt: time.Unix(0, 0).UTC(), Title: "t", Body: "asthma",
+	}
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Body = "migraine"
+	if err := s.Correct(rec); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.Search("asthma"); len(hits) != 0 {
+		t.Errorf("stale posting after correct: %v", hits)
+	}
+	if hits, _ := s.Search("migraine"); len(hits) != 1 {
+		t.Errorf("new posting missing: %v", hits)
+	}
+	if err := s.Dispose(rec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.Search("migraine"); len(hits) != 0 {
+		t.Errorf("posting survives dispose: %v", hits)
+	}
+}

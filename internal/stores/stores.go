@@ -1,0 +1,76 @@
+// Package stores defines the storage-model interface shared by the paper's
+// Section-4 baselines (encryption-only, relational, object storage) and by
+// the compliance stores (WORM, MedVault). The compliance matrix (experiment
+// E1), the performance comparison (E2), and the attack campaign (E3) all
+// drive their subjects through this one interface.
+package stores
+
+import (
+	"errors"
+
+	"medvault/internal/ehr"
+)
+
+// Errors shared across store implementations.
+var (
+	// ErrNotFound indicates no record with the given ID.
+	ErrNotFound = errors.New("stores: record not found")
+	// ErrUnsupported indicates the storage model cannot express the
+	// operation at all (e.g. corrections on WORM).
+	ErrUnsupported = errors.New("stores: operation unsupported by this storage model")
+	// ErrTampered indicates integrity verification detected tampering.
+	ErrTampered = errors.New("stores: tampering detected")
+	// ErrExists indicates a Put of an already-existing record ID.
+	ErrExists = errors.New("stores: record already exists")
+)
+
+// Store is a healthcare record store. All implementations are safe for
+// concurrent use.
+type Store interface {
+	// Name identifies the storage model in experiment output.
+	Name() string
+	// Put stores a new record. Storing an existing ID is ErrExists.
+	Put(rec ehr.Record) error
+	// Get returns the current (latest) content of the record.
+	Get(id string) (ehr.Record, error)
+	// Correct replaces the record's current content with an amended
+	// version. Models that cannot express corrections return ErrUnsupported.
+	Correct(rec ehr.Record) error
+	// Search returns IDs of records whose text contains the keyword, sorted.
+	Search(keyword string) ([]string, error)
+	// Dispose destroys the record at end of retention. What "destroys"
+	// guarantees differs per model — that difference is experiment E5.
+	Dispose(id string) error
+	// Verify checks the integrity of all stored records with whatever
+	// mechanism the model has, returning ErrTampered on detection. Models
+	// with no integrity mechanism return nil without checking anything.
+	Verify() error
+	// Len returns the number of live records.
+	Len() int
+	// StorageBytes returns total bytes of live storage (cost experiment).
+	StorageBytes() int64
+	// RawBytes returns every byte the store has ever written, including
+	// simulated freed sectors left behind by in-place updates and deletes.
+	// This is the attack surface an insider with direct disk access — or a
+	// buyer of discarded media — sees; the residual-plaintext probe (E5)
+	// scans it.
+	RawBytes() []byte
+}
+
+// Tamperable is implemented by stores whose current record bytes can be
+// mutated out-of-band, modeling an insider editing the disk beneath the
+// query processor.
+type Tamperable interface {
+	// TamperRecord applies mutate to the stored bytes of the record's
+	// current content, in place.
+	TamperRecord(id string, mutate func([]byte) []byte) error
+}
+
+// Replayable is implemented by stores where an insider can roll a record
+// back to a previous content without leaving a trace in the store's own
+// data structures (a replay/rollback attack).
+type Replayable interface {
+	// ReplayOldVersion replaces the record's current content with its
+	// previous content, as an insider with disk access would.
+	ReplayOldVersion(id string) error
+}

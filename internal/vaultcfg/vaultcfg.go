@@ -1,0 +1,156 @@
+// Package vaultcfg opens fully configured, durable vaults for the CLI and
+// the HTTP server: it resolves the master key, loads the principals file,
+// and applies the standard role set and retention policies.
+//
+// Layout under the vault directory:
+//
+//	<dir>/blocks/ audit/ prov/ meta.wal meta.snap   (managed by core)
+//	<dir>/principals.conf                            (managed here)
+//
+// principals.conf is one principal per line: "<id> <role>[,<role>...]".
+// Lines starting with '#' are comments. Roles are the standard set
+// (physician, nurse, billing-clerk, compliance-officer, archivist, admin).
+package vaultcfg
+
+import (
+	"bufio"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"medvault/internal/authz"
+	"medvault/internal/core"
+	"medvault/internal/vcrypto"
+)
+
+// PrincipalsFile is the name of the principals config inside a vault dir.
+const PrincipalsFile = "principals.conf"
+
+// ErrBadMasterKey indicates a malformed master key string.
+var ErrBadMasterKey = errors.New("vaultcfg: master key must be 64 hex characters")
+
+// ParseMasterKey decodes a 64-hex-char master key.
+func ParseMasterKey(s string) (vcrypto.Key, error) {
+	b, err := hex.DecodeString(strings.TrimSpace(s))
+	if err != nil || len(b) != vcrypto.KeySize {
+		return vcrypto.Key{}, ErrBadMasterKey
+	}
+	return vcrypto.KeyFromBytes(b)
+}
+
+// GenerateMasterKey returns a fresh key and its hex form.
+func GenerateMasterKey() (vcrypto.Key, string, error) {
+	k, err := vcrypto.NewKey()
+	if err != nil {
+		return vcrypto.Key{}, "", err
+	}
+	return k, hex.EncodeToString(k[:]), nil
+}
+
+// Open opens (creating if needed) the durable vault at dir with the given
+// master key and system name, loading roles and principals.
+func Open(dir, name string, master vcrypto.Key) (*core.Vault, error) {
+	v, err := core.Open(core.Config{
+		Name:                    name,
+		Master:                  master,
+		Dir:                     dir,
+		AuditCheckpointInterval: 1000,
+	})
+	if err != nil {
+		return nil, err
+	}
+	a := v.Authz()
+	for _, r := range authz.StandardRoles() {
+		a.DefineRole(r)
+	}
+	if err := loadPrincipals(a, filepath.Join(dir, PrincipalsFile)); err != nil {
+		v.Close()
+		return nil, err
+	}
+	return v, nil
+}
+
+func loadPrincipals(a *authz.Authorizer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("vaultcfg: reading principals: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("vaultcfg: %s:%d: want '<principal> <role,...>'", path, lineNo)
+		}
+		roles := strings.Split(fields[1], ",")
+		if err := a.AddPrincipal(fields[0], roles...); err != nil {
+			return fmt.Errorf("vaultcfg: %s:%d: %w", path, lineNo, err)
+		}
+	}
+	return sc.Err()
+}
+
+// Grant appends (or replaces) a principal's roles in the principals file.
+// The vault must be reopened for the change to take effect, mirroring how
+// access-policy changes are deployed, not hot-patched.
+func Grant(dir, principal string, roles []string) error {
+	// Validate against the standard role set before persisting.
+	known := map[string]bool{}
+	for _, r := range authz.StandardRoles() {
+		known[r.Name] = true
+	}
+	for _, r := range roles {
+		if !known[r] {
+			return fmt.Errorf("vaultcfg: unknown role %q", r)
+		}
+	}
+	path := filepath.Join(dir, PrincipalsFile)
+	existing := map[string]string{}
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				existing[fields[0]] = fields[1]
+			}
+		}
+	}
+	existing[principal] = strings.Join(roles, ",")
+	var sb strings.Builder
+	sb.WriteString("# MedVault principals: <principal> <role,...>\n")
+	ids := make([]string, 0, len(existing))
+	for id := range existing {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "%s %s\n", id, existing[id])
+	}
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return fmt.Errorf("vaultcfg: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o600); err != nil {
+		return fmt.Errorf("vaultcfg: writing principals: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("vaultcfg: committing principals: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package vaultcfg
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/ehr"
+)
+
+func TestMasterKeyRoundTrip(t *testing.T) {
+	k, hexStr, err := GenerateMasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseMasterKey(hexStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed != k {
+		t.Error("parsed key differs")
+	}
+	for _, bad := range []string{"", "zz", strings.Repeat("a", 63), strings.Repeat("a", 66)} {
+		if _, err := ParseMasterKey(bad); !errors.Is(err, ErrBadMasterKey) {
+			t.Errorf("ParseMasterKey(%q) = %v", bad, err)
+		}
+	}
+	// Whitespace tolerated.
+	if _, err := ParseMasterKey("  " + hexStr + "\n"); err != nil {
+		t.Errorf("trimmed key rejected: %v", err)
+	}
+}
+
+func TestGrantAndOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := Grant(dir, "dr-a", []string{"physician"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Grant(dir, "kim", []string{"compliance-officer", "archivist"}); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing roles for an existing principal.
+	if err := Grant(dir, "dr-a", []string{"physician", "admin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Grant(dir, "x", []string{"warlock"}); err == nil {
+		t.Error("unknown role accepted")
+	}
+
+	k, _, err := GenerateMasterKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Open(dir, "clinic", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+
+	rec := ehr.NewGenerator(1, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)).Next()
+	if _, err := v.Put("dr-a", rec); err != nil {
+		t.Errorf("granted physician cannot write: %v", err)
+	}
+	if _, err := v.Put("stranger", rec); err == nil {
+		t.Error("ungranted principal wrote")
+	}
+	// The compliance officer granted via the file can query the audit log.
+	events, err := v.AuditEvents("kim", audit.Query{DeniedOnly: true})
+	if err != nil {
+		t.Fatalf("granted officer cannot audit: %v", err)
+	}
+	if len(events) != 1 {
+		t.Errorf("audited %d denials, want 1", len(events))
+	}
+}
+
+func TestOpenRejectsMalformedPrincipals(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, PrincipalsFile), []byte("too many fields here\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	k, _, _ := GenerateMasterKey()
+	if _, err := Open(dir, "clinic", k); err == nil {
+		t.Error("malformed principals file accepted")
+	}
+}
+
+func TestPrincipalsFileCommentsAndBlanks(t *testing.T) {
+	dir := t.TempDir()
+	content := "# staff\n\n  \ndr-b physician\n"
+	if err := os.WriteFile(filepath.Join(dir, PrincipalsFile), []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	k, _, _ := GenerateMasterKey()
+	v, err := Open(dir, "clinic", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close()
+	if got := v.Authz().Principals(); len(got) != 1 || got[0] != "dr-b" {
+		t.Errorf("principals = %v", got)
+	}
+}

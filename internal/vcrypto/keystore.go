@@ -1,0 +1,323 @@
+package vcrypto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// KeyStore manages per-record data-encryption keys (DEKs). Every DEK is held
+// only in wrapped form — sealed with AES-GCM under the store's master key —
+// so a snapshot of the KeyStore (for backup or migration) never exposes raw
+// key material.
+//
+// Shred destroys a record's wrapped DEK and remembers the record ID in a
+// tombstone set. Once shredded, the record's ciphertext — every version, on
+// every medium it was ever copied to — is permanently unreadable. This is the
+// crypto-shredding construction MedVault uses to satisfy the secure-deletion
+// and media re-use mandates (HIPAA §164.310(d)(2)(i)-(ii)).
+//
+// KeyStore is safe for concurrent use.
+type KeyStore struct {
+	mu       sync.RWMutex
+	master   Key
+	wrapped  map[string][]byte // record ID -> Seal(master, DEK, aad=id)
+	shredded map[string]bool   // tombstones for destroyed keys
+}
+
+// NewKeyStore returns an empty KeyStore protected by master.
+func NewKeyStore(master Key) *KeyStore {
+	return &KeyStore{
+		master:   master,
+		wrapped:  make(map[string][]byte),
+		shredded: make(map[string]bool),
+	}
+}
+
+// Create generates, wraps, and registers a fresh DEK for id, returning the
+// plaintext DEK for immediate use. It fails with ErrKeyExists if a live key
+// is already registered and ErrShredded if id's key was destroyed: record IDs
+// are never reused after deletion, so an expired-and-shredded record cannot
+// be silently resurrected.
+func (ks *KeyStore) Create(id string) (Key, error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if ks.shredded[id] {
+		return Key{}, fmt.Errorf("%w: %s", ErrShredded, id)
+	}
+	if _, ok := ks.wrapped[id]; ok {
+		return Key{}, fmt.Errorf("%w: %s", ErrKeyExists, id)
+	}
+	dek, err := NewKey()
+	if err != nil {
+		return Key{}, err
+	}
+	blob, err := Seal(ks.master, dek[:], []byte(id))
+	if err != nil {
+		return Key{}, fmt.Errorf("vcrypto: wrapping DEK for %s: %w", id, err)
+	}
+	ks.wrapped[id] = blob
+	return dek, nil
+}
+
+// Get unwraps and returns the DEK for id. It returns ErrShredded if the key
+// was destroyed and ErrNoKey if it never existed.
+func (ks *KeyStore) Get(id string) (Key, error) {
+	ks.mu.RLock()
+	blob, ok := ks.wrapped[id]
+	shred := ks.shredded[id]
+	ks.mu.RUnlock()
+	if shred {
+		return Key{}, fmt.Errorf("%w: %s", ErrShredded, id)
+	}
+	if !ok {
+		return Key{}, fmt.Errorf("%w: %s", ErrNoKey, id)
+	}
+	raw, err := Open(ks.master, blob, []byte(id))
+	if err != nil {
+		return Key{}, fmt.Errorf("vcrypto: unwrapping DEK for %s: %w", id, err)
+	}
+	return KeyFromBytes(raw)
+}
+
+// Shred destroys the DEK for id, making all ciphertext sealed under it
+// permanently unreadable. Shredding is idempotent; shredding a key that never
+// existed returns ErrNoKey.
+func (ks *KeyStore) Shred(id string) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if ks.shredded[id] {
+		return nil
+	}
+	blob, ok := ks.wrapped[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoKey, id)
+	}
+	for i := range blob {
+		blob[i] = 0
+	}
+	delete(ks.wrapped, id)
+	ks.shredded[id] = true
+	return nil
+}
+
+// AdoptWrapped registers an existing wrapped DEK blob for id, as replayed
+// from a write-ahead log or received in a backup. The blob must have been
+// produced under the same master key; a mismatch surfaces as ErrDecrypt on
+// first Get.
+func (ks *KeyStore) AdoptWrapped(id string, blob []byte) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if ks.shredded[id] {
+		return fmt.Errorf("%w: %s", ErrShredded, id)
+	}
+	if _, ok := ks.wrapped[id]; ok {
+		return fmt.Errorf("%w: %s", ErrKeyExists, id)
+	}
+	ks.wrapped[id] = append([]byte(nil), blob...)
+	return nil
+}
+
+// WrappedFor returns the wrapped (encrypted) DEK blob for id, suitable for
+// durable logging. It never returns plaintext key material.
+func (ks *KeyStore) WrappedFor(id string) ([]byte, error) {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	if ks.shredded[id] {
+		return nil, fmt.Errorf("%w: %s", ErrShredded, id)
+	}
+	blob, ok := ks.wrapped[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoKey, id)
+	}
+	return append([]byte(nil), blob...), nil
+}
+
+// Rewrap re-encrypts every live DEK under newMaster and switches the store
+// to it — periodic key rotation, as key-management policy (and HIPAA's
+// "reasonable safeguards" guidance) expects. Data keys themselves do not
+// change, so no ciphertext needs rewriting; only the small wrapped blobs do.
+// On any failure the store is left unchanged.
+func (ks *KeyStore) Rewrap(newMaster Key) error {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	rewrapped := make(map[string][]byte, len(ks.wrapped))
+	for id, blob := range ks.wrapped {
+		raw, err := Open(ks.master, blob, []byte(id))
+		if err != nil {
+			return fmt.Errorf("vcrypto: rewrap: unwrapping %s: %w", id, err)
+		}
+		newBlob, err := Seal(newMaster, raw, []byte(id))
+		for i := range raw {
+			raw[i] = 0
+		}
+		if err != nil {
+			return fmt.Errorf("vcrypto: rewrap: wrapping %s: %w", id, err)
+		}
+		rewrapped[id] = newBlob
+	}
+	for _, blob := range ks.wrapped {
+		for i := range blob {
+			blob[i] = 0
+		}
+	}
+	ks.wrapped = rewrapped
+	ks.master = newMaster
+	return nil
+}
+
+// IsShredded reports whether id's key has been destroyed.
+func (ks *KeyStore) IsShredded(id string) bool {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return ks.shredded[id]
+}
+
+// Len returns the number of live (unshredded) keys.
+func (ks *KeyStore) Len() int {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	return len(ks.wrapped)
+}
+
+// IDs returns the record IDs with live keys, sorted.
+func (ks *KeyStore) IDs() []string {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	ids := make([]string, 0, len(ks.wrapped))
+	for id := range ks.wrapped {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// keystore snapshot wire format:
+//
+//	magic "MVKS" | u16 version | u32 nLive  { u32 idLen id u32 blobLen blob }*
+//	               u32 nShred { u32 idLen id }*
+const (
+	ksMagic   = "MVKS"
+	ksVersion = 1
+)
+
+// Snapshot serializes the KeyStore (wrapped keys and tombstones) for backup
+// or migration. The output contains no plaintext key material.
+func (ks *KeyStore) Snapshot() []byte {
+	ks.mu.RLock()
+	defer ks.mu.RUnlock()
+	var buf bytes.Buffer
+	buf.WriteString(ksMagic)
+	writeU16(&buf, ksVersion)
+	writeU32(&buf, uint32(len(ks.wrapped)))
+	for _, id := range sortedKeys(ks.wrapped) {
+		writeBytes(&buf, []byte(id))
+		writeBytes(&buf, ks.wrapped[id])
+	}
+	writeU32(&buf, uint32(len(ks.shredded)))
+	for _, id := range sortedKeys(ks.shredded) {
+		writeBytes(&buf, []byte(id))
+	}
+	return buf.Bytes()
+}
+
+// LoadKeyStore reconstructs a KeyStore from a Snapshot, using master to
+// unwrap keys on demand. The snapshot's integrity is verified lazily: a
+// corrupted wrapped key surfaces as ErrDecrypt on first Get.
+func LoadKeyStore(master Key, snap []byte) (*KeyStore, error) {
+	r := bytes.NewReader(snap)
+	magic := make([]byte, 4)
+	if _, err := r.Read(magic); err != nil || string(magic) != ksMagic {
+		return nil, fmt.Errorf("vcrypto: bad keystore snapshot magic")
+	}
+	ver, err := readU16(r)
+	if err != nil || ver != ksVersion {
+		return nil, fmt.Errorf("vcrypto: unsupported keystore snapshot version %d", ver)
+	}
+	ks := NewKeyStore(master)
+	nLive, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("vcrypto: truncated keystore snapshot: %w", err)
+	}
+	for i := uint32(0); i < nLive; i++ {
+		id, err := readBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("vcrypto: truncated keystore snapshot: %w", err)
+		}
+		blob, err := readBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("vcrypto: truncated keystore snapshot: %w", err)
+		}
+		ks.wrapped[string(id)] = blob
+	}
+	nShred, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("vcrypto: truncated keystore snapshot: %w", err)
+	}
+	for i := uint32(0); i < nShred; i++ {
+		id, err := readBytes(r)
+		if err != nil {
+			return nil, fmt.Errorf("vcrypto: truncated keystore snapshot: %w", err)
+		}
+		ks.shredded[string(id)] = true
+	}
+	return ks, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeU32(buf, uint32(len(b)))
+	buf.Write(b)
+}
+
+func readU16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b[:]), nil
+}
+
+func readBytes(r *bytes.Reader) ([]byte, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > r.Len() {
+		return nil, fmt.Errorf("vcrypto: length %d exceeds remaining %d", n, r.Len())
+	}
+	b := make([]byte, n)
+	_, err = io.ReadFull(r, b)
+	return b, err
+}

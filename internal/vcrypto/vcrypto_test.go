@@ -1,0 +1,435 @@
+package vcrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t *testing.T) Key {
+	t.Helper()
+	k, err := NewKey()
+	if err != nil {
+		t.Fatalf("NewKey: %v", err)
+	}
+	return k
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := testKey(t)
+	for _, pt := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("EPHI"), 1000)} {
+		ct, err := Seal(k, pt, []byte("rec/1"))
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		got, err := Open(k, ct, []byte("rec/1"))
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		if !bytes.Equal(got, pt) {
+			t.Errorf("round trip mismatch: got %d bytes, want %d", len(got), len(pt))
+		}
+	}
+}
+
+func TestOpenRejectsTamperedCiphertext(t *testing.T) {
+	k := testKey(t)
+	ct, err := Seal(k, []byte("diagnosis: hypertension"), []byte("aad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(ct); i += 7 {
+		mutated := append([]byte(nil), ct...)
+		mutated[i] ^= 0x01
+		if _, err := Open(k, mutated, []byte("aad")); !errors.Is(err, ErrDecrypt) {
+			t.Fatalf("flip at byte %d: got err %v, want ErrDecrypt", i, err)
+		}
+	}
+}
+
+func TestOpenRejectsWrongAAD(t *testing.T) {
+	k := testKey(t)
+	ct, err := Seal(k, []byte("payload"), []byte("patient-A/v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(k, ct, []byte("patient-B/v1")); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("ciphertext swap between records not detected: %v", err)
+	}
+}
+
+func TestOpenRejectsWrongKey(t *testing.T) {
+	k1, k2 := testKey(t), testKey(t)
+	ct, err := Seal(k1, []byte("payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(k2, ct, nil); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong key accepted: %v", err)
+	}
+}
+
+func TestOpenRejectsShortBlob(t *testing.T) {
+	k := testKey(t)
+	for _, n := range []int{0, 1, 11, Overhead - 1} {
+		if _, err := Open(k, make([]byte, n), nil); !errors.Is(err, ErrDecrypt) {
+			t.Errorf("blob of %d bytes: got %v, want ErrDecrypt", n, err)
+		}
+	}
+}
+
+func TestSealOverheadConstant(t *testing.T) {
+	k := testKey(t)
+	for _, n := range []int{0, 1, 100, 4096} {
+		ct, err := Seal(k, make([]byte, n), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ct) != n+Overhead {
+			t.Errorf("plaintext %d bytes: ciphertext %d, want %d", n, len(ct), n+Overhead)
+		}
+	}
+}
+
+func TestSealNoncesUnique(t *testing.T) {
+	k := testKey(t)
+	seen := make(map[string]bool)
+	for i := 0; i < 200; i++ {
+		ct, err := Seal(k, []byte("same plaintext"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nonce := string(ct[:12])
+		if seen[nonce] {
+			t.Fatal("nonce repeated across Seal calls")
+		}
+		seen[nonce] = true
+	}
+}
+
+func TestSealOpenProperty(t *testing.T) {
+	k := testKey(t)
+	f := func(pt, aad []byte) bool {
+		ct, err := Seal(k, pt, aad)
+		if err != nil {
+			return false
+		}
+		got, err := Open(k, ct, aad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeriveKeyDomainSeparation(t *testing.T) {
+	parent := testKey(t)
+	a := DeriveKey(parent, "index")
+	b := DeriveKey(parent, "audit")
+	a2 := DeriveKey(parent, "index")
+	if a == b {
+		t.Error("distinct labels produced identical keys")
+	}
+	if a != a2 {
+		t.Error("derivation is not deterministic")
+	}
+	if a == parent {
+		t.Error("derived key equals parent")
+	}
+}
+
+func TestMACVerify(t *testing.T) {
+	k := testKey(t)
+	msg := []byte("audit entry 42")
+	sum := MAC(k, msg)
+	if !VerifyMAC(k, msg, sum) {
+		t.Error("valid MAC rejected")
+	}
+	if VerifyMAC(k, []byte("audit entry 43"), sum) {
+		t.Error("MAC accepted for different message")
+	}
+	sum[0] ^= 1
+	if VerifyMAC(k, msg, sum) {
+		t.Error("mutated MAC accepted")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, 31)); !errors.Is(err, ErrBadKey) {
+		t.Errorf("short key accepted: %v", err)
+	}
+	if _, err := KeyFromBytes(make([]byte, 33)); !errors.Is(err, ErrBadKey) {
+		t.Errorf("long key accepted: %v", err)
+	}
+	k, err := KeyFromBytes(bytes.Repeat([]byte{7}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[0] != 7 || k[31] != 7 {
+		t.Error("key bytes not copied")
+	}
+}
+
+func TestKeyFingerprintStable(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{1}, 32))
+	if k.Fingerprint() != k.Fingerprint() {
+		t.Error("fingerprint not deterministic")
+	}
+	k2, _ := KeyFromBytes(bytes.Repeat([]byte{2}, 32))
+	if k.Fingerprint() == k2.Fingerprint() {
+		t.Error("distinct keys share fingerprint")
+	}
+	if len(k.Fingerprint()) != 16 {
+		t.Errorf("fingerprint length %d, want 16 hex chars", len(k.Fingerprint()))
+	}
+}
+
+func TestKeyZero(t *testing.T) {
+	k, _ := KeyFromBytes(bytes.Repeat([]byte{9}, 32))
+	k.Zero()
+	if k != (Key{}) {
+		t.Error("Zero left key material behind")
+	}
+}
+
+func TestKeyStoreCreateGetShred(t *testing.T) {
+	ks := NewKeyStore(testKey(t))
+	dek, err := ks.Create("patient-1")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	got, err := ks.Get("patient-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got != dek {
+		t.Error("Get returned a different DEK than Create")
+	}
+	if _, err := ks.Create("patient-1"); !errors.Is(err, ErrKeyExists) {
+		t.Errorf("duplicate Create: %v", err)
+	}
+	if err := ks.Shred("patient-1"); err != nil {
+		t.Fatalf("Shred: %v", err)
+	}
+	if _, err := ks.Get("patient-1"); !errors.Is(err, ErrShredded) {
+		t.Errorf("Get after shred: %v, want ErrShredded", err)
+	}
+	if !ks.IsShredded("patient-1") {
+		t.Error("IsShredded false after shred")
+	}
+	// Shredding is idempotent.
+	if err := ks.Shred("patient-1"); err != nil {
+		t.Errorf("second Shred: %v", err)
+	}
+	// Shredded IDs cannot be resurrected.
+	if _, err := ks.Create("patient-1"); !errors.Is(err, ErrShredded) {
+		t.Errorf("Create after shred: %v, want ErrShredded", err)
+	}
+}
+
+func TestKeyStoreGetMissing(t *testing.T) {
+	ks := NewKeyStore(testKey(t))
+	if _, err := ks.Get("ghost"); !errors.Is(err, ErrNoKey) {
+		t.Errorf("Get missing: %v, want ErrNoKey", err)
+	}
+	if err := ks.Shred("ghost"); !errors.Is(err, ErrNoKey) {
+		t.Errorf("Shred missing: %v, want ErrNoKey", err)
+	}
+}
+
+func TestKeyStoreSnapshotRoundTrip(t *testing.T) {
+	master := testKey(t)
+	ks := NewKeyStore(master)
+	deks := make(map[string]Key)
+	for _, id := range []string{"a", "b", "c", "d"} {
+		dek, err := ks.Create(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deks[id] = dek
+	}
+	if err := ks.Shred("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := LoadKeyStore(master, ks.Snapshot())
+	if err != nil {
+		t.Fatalf("LoadKeyStore: %v", err)
+	}
+	for _, id := range []string{"a", "c", "d"} {
+		got, err := restored.Get(id)
+		if err != nil {
+			t.Fatalf("restored Get(%s): %v", id, err)
+		}
+		if got != deks[id] {
+			t.Errorf("restored DEK for %s differs", id)
+		}
+	}
+	if _, err := restored.Get("b"); !errors.Is(err, ErrShredded) {
+		t.Errorf("shred tombstone lost in snapshot: %v", err)
+	}
+	if restored.Len() != 3 {
+		t.Errorf("restored Len = %d, want 3", restored.Len())
+	}
+	want := []string{"a", "c", "d"}
+	got := restored.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKeyStoreSnapshotHasNoPlaintextKeys(t *testing.T) {
+	master := testKey(t)
+	ks := NewKeyStore(master)
+	dek, err := ks.Create("pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := ks.Snapshot()
+	if bytes.Contains(snap, dek[:]) {
+		t.Error("snapshot contains raw DEK bytes")
+	}
+	if bytes.Contains(snap, master[:]) {
+		t.Error("snapshot contains master key bytes")
+	}
+}
+
+func TestLoadKeyStoreRejectsGarbage(t *testing.T) {
+	master := testKey(t)
+	for _, snap := range [][]byte{nil, []byte("XXXX"), []byte("MVKS\x00\x02"), []byte("MVKS\x00\x01\x00\x00\x00\x05")} {
+		if _, err := LoadKeyStore(master, snap); err == nil {
+			t.Errorf("garbage snapshot %q accepted", snap)
+		}
+	}
+}
+
+func TestLoadKeyStoreWrongMasterFailsOnGet(t *testing.T) {
+	ks := NewKeyStore(testKey(t))
+	if _, err := ks.Create("pt"); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadKeyStore(testKey(t), ks.Snapshot())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if _, err := restored.Get("pt"); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("wrong master unwrap: %v, want ErrDecrypt", err)
+	}
+}
+
+func TestKeyStoreRewrap(t *testing.T) {
+	oldMaster, newMaster := testKey(t), testKey(t)
+	ks := NewKeyStore(oldMaster)
+	deks := map[string]Key{}
+	for _, id := range []string{"a", "b", "c"} {
+		dek, err := ks.Create(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deks[id] = dek
+	}
+	ks.Shred("b")
+
+	if err := ks.Rewrap(newMaster); err != nil {
+		t.Fatalf("Rewrap: %v", err)
+	}
+	// DEKs unchanged; tombstones preserved.
+	for _, id := range []string{"a", "c"} {
+		got, err := ks.Get(id)
+		if err != nil || got != deks[id] {
+			t.Errorf("Get(%s) after rewrap: %v", id, err)
+		}
+	}
+	if !ks.IsShredded("b") {
+		t.Error("tombstone lost in rewrap")
+	}
+	// The snapshot now loads under the NEW master only.
+	snap := ks.Snapshot()
+	if re, err := LoadKeyStore(newMaster, snap); err != nil {
+		t.Fatal(err)
+	} else if _, err := re.Get("a"); err != nil {
+		t.Errorf("restored under new master: %v", err)
+	}
+	re, err := LoadKeyStore(oldMaster, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Get("a"); !errors.Is(err, ErrDecrypt) {
+		t.Errorf("old master still unwraps after rotation: %v", err)
+	}
+	// New keys wrap under the new master.
+	if _, err := ks.Create("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Get("d"); err != nil {
+		t.Errorf("Get(d): %v", err)
+	}
+}
+
+func TestSignerSignVerify(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("signed tree head #7")
+	sig := s.Sign(msg)
+	if err := s.Public().Verify(msg, sig); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+	if err := s.Public().Verify([]byte("other"), sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("forged message accepted: %v", err)
+	}
+	sig[0] ^= 1
+	if err := s.Public().Verify(msg, sig); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("mutated signature accepted: %v", err)
+	}
+}
+
+func TestSignerFromSeedDeterministic(t *testing.T) {
+	seed := testKey(t)
+	s1 := SignerFromSeed(seed)
+	s2 := SignerFromSeed(seed)
+	if s1.Public().String() != s2.Public().String() {
+		t.Error("same seed produced different identities")
+	}
+	msg := []byte("m")
+	if err := s2.Public().Verify(msg, s1.Sign(msg)); err != nil {
+		t.Errorf("cross verification failed: %v", err)
+	}
+}
+
+func TestPublicKeyHexRoundTrip(t *testing.T) {
+	s, err := NewSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := PublicKeyFromHex(s.Public().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("m")
+	if err := parsed.Verify(msg, s.Sign(msg)); err != nil {
+		t.Errorf("parsed key failed to verify: %v", err)
+	}
+	if _, err := PublicKeyFromHex("zz"); err == nil {
+		t.Error("invalid hex accepted")
+	}
+	if _, err := PublicKeyFromHex("abcd"); err == nil {
+		t.Error("wrong-length key accepted")
+	}
+}
+
+func TestHashHex(t *testing.T) {
+	if HashHex([]byte("a")) == HashHex([]byte("b")) {
+		t.Error("hash collision on trivial input")
+	}
+	if len(HashHex(nil)) != 64 {
+		t.Error("hash hex length wrong")
+	}
+}

@@ -1,0 +1,205 @@
+// Package wal implements a write-ahead log for crash consistency.
+//
+// A MedVault mutation touches several structures (record log, Merkle log,
+// encrypted index, audit chain). The WAL makes the group atomic: the intent
+// record is durably appended first, and on restart any suffix of intents not
+// covered by the last checkpoint is replayed idempotently. Entries are
+// sequence-numbered and CRC-framed; a torn tail from a crash is truncated on
+// open, never silently skipped over.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Errors returned by the package.
+var (
+	// ErrClosed indicates use of a closed log.
+	ErrClosed = errors.New("wal: log closed")
+	// ErrCorrupt indicates an unreadable entry before the log tail.
+	ErrCorrupt = errors.New("wal: log corrupt")
+)
+
+// Entry is a recovered log entry.
+type Entry struct {
+	Seq  uint64
+	Data []byte
+}
+
+// Log is a single-file write-ahead log. Safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	nextSeq uint64
+	size    int64
+	closed  bool
+}
+
+// entry layout: u64 seq | u32 len | u32 crc32c(data) | data
+const entryOverhead = 8 + 4 + 4
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Open opens (or creates) the WAL at path, truncating any torn tail.
+// Recovered entries are replayed to fn in order before Open returns; fn may
+// be nil to skip replay.
+func Open(path string, fn func(Entry) error) (*Log, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+		return nil, fmt.Errorf("wal: creating dir: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	var (
+		off     int64
+		nextSeq uint64
+	)
+	for int(off) < len(data) {
+		e, n, ok := decodeEntry(data[off:])
+		if !ok {
+			break // torn tail
+		}
+		if e.Seq != nextSeq {
+			return nil, fmt.Errorf("%w: sequence gap at offset %d: got %d, want %d", ErrCorrupt, off, e.Seq, nextSeq)
+		}
+		if fn != nil {
+			if err := fn(e); err != nil {
+				return nil, fmt.Errorf("wal: replaying entry %d: %w", e.Seq, err)
+			}
+		}
+		nextSeq++
+		off += int64(n)
+	}
+	if int(off) < len(data) {
+		if err := os.Truncate(path, off); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	return &Log{f: f, path: path, nextSeq: nextSeq, size: off}, nil
+}
+
+// Append durably records data and returns its sequence number. The entry is
+// written and fsynced before Append returns: when Append succeeds, the
+// intent survives a crash.
+func (l *Log) Append(data []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	seq := l.nextSeq
+	buf := make([]byte, entryOverhead+len(data))
+	binary.BigEndian.PutUint64(buf[0:8], seq)
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(data)))
+	binary.BigEndian.PutUint32(buf[12:16], crc32.Checksum(data, castagnoli))
+	copy(buf[entryOverhead:], data)
+	if _, err := l.f.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: appending entry %d: %w", seq, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return 0, fmt.Errorf("wal: syncing entry %d: %w", seq, err)
+	}
+	l.nextSeq++
+	l.size += int64(len(buf))
+	return seq, nil
+}
+
+// NextSeq returns the sequence number the next Append will use.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Checkpoint atomically empties the log after its state has been durably
+// captured elsewhere (e.g. blockstore sync). Sequence numbering restarts at
+// zero: sequences are per-checkpoint-generation, and a replay only ever sees
+// the entries appended since the last checkpoint.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	// Atomically replace the log with an empty file.
+	tmp := l.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint temp: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint temp sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint temp close: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("wal: checkpoint rename: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint reopen: %w", err)
+	}
+	l.f = nf
+	l.size = 0
+	l.nextSeq = 0
+	return nil
+}
+
+// Close closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// decodeEntry parses one entry from the front of b. ok is false when the
+// bytes do not contain a complete valid entry (torn tail).
+func decodeEntry(b []byte) (Entry, int, bool) {
+	if len(b) < entryOverhead {
+		return Entry{}, 0, false
+	}
+	seq := binary.BigEndian.Uint64(b[0:8])
+	n := binary.BigEndian.Uint32(b[8:12])
+	crc := binary.BigEndian.Uint32(b[12:16])
+	if uint64(entryOverhead)+uint64(n) > uint64(len(b)) {
+		return Entry{}, 0, false
+	}
+	data := b[entryOverhead : entryOverhead+int(n)]
+	if crc32.Checksum(data, castagnoli) != crc {
+		return Entry{}, 0, false
+	}
+	out := make([]byte, n)
+	copy(out, data)
+	return Entry{Seq: seq, Data: out}, entryOverhead + int(n), true
+}

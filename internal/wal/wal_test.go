@@ -1,0 +1,252 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTemp(t *testing.T, fn func(Entry) error) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Open(path, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func TestAppendAssignsSequences(t *testing.T) {
+	l, _ := openTemp(t, nil)
+	for i := uint64(0); i < 10; i++ {
+		seq, err := l.Append([]byte{byte(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != i {
+			t.Fatalf("seq = %d, want %d", seq, i)
+		}
+	}
+	if l.NextSeq() != 10 {
+		t.Errorf("NextSeq = %d, want 10", l.NextSeq())
+	}
+}
+
+func TestReplayAfterReopen(t *testing.T) {
+	l, path := openTemp(t, nil)
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		d := []byte(fmt.Sprintf("intent-%d", i))
+		want = append(want, d)
+		if _, err := l.Append(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	var got []Entry
+	re, err := Open(path, func(e Entry) error {
+		got = append(got, e)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) || !bytes.Equal(e.Data, want[i]) {
+			t.Errorf("entry %d: seq=%d data=%q", i, e.Seq, e.Data)
+		}
+	}
+	if re.NextSeq() != 20 {
+		t.Errorf("NextSeq after reopen = %d, want 20", re.NextSeq())
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	l, path := openTemp(t, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 0, 0, 0, 0, 5, 0, 0})
+	f.Close()
+
+	n := 0
+	re, err := Open(path, func(e Entry) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	defer re.Close()
+	if n != 5 {
+		t.Errorf("replayed %d entries, want 5", n)
+	}
+	if re.NextSeq() != 5 {
+		t.Errorf("NextSeq = %d, want 5", re.NextSeq())
+	}
+	if _, err := re.Append([]byte("recovered")); err != nil {
+		t.Errorf("append after torn-tail recovery: %v", err)
+	}
+}
+
+func TestCorruptMiddleEntryRejected(t *testing.T) {
+	l, path := openTemp(t, nil)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Corrupt the first entry's payload: replay must stop there. Since the
+	// corruption is at entry 0, recovery sees an empty valid prefix — but if
+	// sequence numbers jump (e.g. an entry is surgically removed), Open must
+	// refuse.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove the first entry entirely: second entry now leads with seq 1.
+	entryLen := entryOverhead + 32
+	if err := os.WriteFile(path, raw[entryLen:], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("sequence gap accepted: %v", err)
+	}
+}
+
+func TestCheckpointEmptiesLog(t *testing.T) {
+	l, path := openTemp(t, nil)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != 0 {
+		t.Errorf("Size after checkpoint = %d", l.Size())
+	}
+	if l.NextSeq() != 0 {
+		t.Errorf("NextSeq after checkpoint = %d", l.NextSeq())
+	}
+	// Post-checkpoint appends replay alone.
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	var got []Entry
+	re, err := Open(path, func(e Entry) error { got = append(got, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(got) != 1 || string(got[0].Data) != "after" {
+		t.Errorf("replay after checkpoint = %v", got)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	l, path := openTemp(t, nil)
+	l.Append([]byte("a"))
+	l.Close()
+	boom := errors.New("boom")
+	if _, err := Open(path, func(Entry) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("replay error not propagated: %v", err)
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	l, _ := openTemp(t, nil)
+	l.Close()
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append after close: %v", err)
+	}
+	if err := l.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Checkpoint after close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l, path := openTemp(t, nil)
+	const writers, per = 8, 20
+	var wg sync.WaitGroup
+	seqs := make(chan uint64, writers*per)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := l.Append([]byte(fmt.Sprintf("w%d", w)))
+				if err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+				seqs <- seq
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(seqs)
+	seen := make(map[uint64]bool)
+	for s := range seqs {
+		if seen[s] {
+			t.Fatalf("duplicate sequence %d", s)
+		}
+		seen[s] = true
+	}
+	l.Close()
+	n := 0
+	re, err := Open(path, func(Entry) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n != writers*per {
+		t.Errorf("replayed %d, want %d", n, writers*per)
+	}
+}
+
+func TestEmptyPayloadAllowed(t *testing.T) {
+	l, path := openTemp(t, nil)
+	if _, err := l.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	n := 0
+	re, err := Open(path, func(e Entry) error {
+		if len(e.Data) != 0 {
+			t.Errorf("expected empty payload, got %d bytes", len(e.Data))
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	if n != 1 {
+		t.Errorf("replayed %d entries, want 1", n)
+	}
+}

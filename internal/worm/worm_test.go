@@ -1,0 +1,175 @@
+package worm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"medvault/internal/clock"
+	"medvault/internal/ehr"
+	"medvault/internal/retention"
+	"medvault/internal/stores"
+	"medvault/internal/vcrypto"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newStore(t *testing.T) (*Store, *clock.Virtual) {
+	t.Helper()
+	master, err := vcrypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(epoch)
+	return New(Config{Master: master, Clock: vc}), vc
+}
+
+func TestCorrectAlwaysRefused(t *testing.T) {
+	s, _ := newStore(t)
+	g := ehr.NewGenerator(1, epoch)
+	rec := g.Next()
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Correct(g.Correction(rec))
+	if !errors.Is(err, ErrWriteOnce) {
+		t.Errorf("Correct = %v, want ErrWriteOnce", err)
+	}
+	if !errors.Is(err, stores.ErrUnsupported) {
+		t.Error("ErrWriteOnce does not wrap stores.ErrUnsupported")
+	}
+	// Correcting a record that does not exist is NotFound, not WriteOnce.
+	missing := g.Next()
+	missing.ID = "ghost"
+	if err := s.Correct(missing); !errors.Is(err, stores.ErrNotFound) {
+		t.Errorf("Correct(ghost) = %v", err)
+	}
+}
+
+func TestMerkleInclusionPerRecord(t *testing.T) {
+	s, _ := newStore(t)
+	recs := ehr.NewGenerator(2, epoch).Corpus(20)
+	for _, r := range recs {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := s.Head()
+	if head.Size != 20 {
+		t.Errorf("head size = %d, want 20", head.Size)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Growth stays consistent with the remembered head.
+	more := ehr.NewGenerator(3, epoch)
+	for i := 0; i < 5; i++ {
+		r := more.Next()
+		r.ID = r.ID + "/gen3"
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.CheckExtends(head); err != nil {
+		t.Errorf("CheckExtends: %v", err)
+	}
+}
+
+func TestSearchThroughSSE(t *testing.T) {
+	s, _ := newStore(t)
+	recs := ehr.NewGenerator(4, epoch).Corpus(40)
+	for _, r := range recs {
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := s.Search(ehr.CommonCondition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Error("no hits for the common condition")
+	}
+	// The index's stored form must not leak the keyword.
+	if bytes.Contains(s.RawBytes(), []byte(ehr.CommonCondition())) {
+		t.Error("keyword visible in WORM raw bytes")
+	}
+}
+
+func TestCustomPolicies(t *testing.T) {
+	master, err := vcrypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(epoch)
+	day := 24 * time.Hour
+	s := New(Config{
+		Master:   master,
+		Clock:    vc,
+		Policies: []retention.Policy{{Category: "clinical", Period: 7 * day}},
+	})
+	rec := ehr.NewGenerator(5, epoch).Next()
+	for rec.Category != ehr.CategoryClinical {
+		rec = ehr.NewGenerator(6, epoch).Next()
+	}
+	rec.CreatedAt = epoch
+	if err := s.Put(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Dispose(rec.ID); err == nil {
+		t.Fatal("disposal inside the 7-day window accepted")
+	}
+	vc.Advance(8 * day)
+	if err := s.Dispose(rec.ID); err != nil {
+		t.Fatalf("disposal after custom window: %v", err)
+	}
+	// Records in categories with no policy are refused at Put.
+	billing := ehr.Record{ID: "b1", MRN: "m", Category: ehr.CategoryBilling, Author: "a", CreatedAt: epoch}
+	if err := s.Put(billing); err == nil {
+		t.Error("record without a covering policy accepted")
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	s, _ := newStore(t)
+	if err := s.Put(ehr.NewGenerator(7, epoch).Next()); err != nil {
+		t.Fatal(err)
+	}
+	if s.StorageBytes() <= 0 {
+		t.Error("StorageBytes = 0")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Name() != "worm" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestShredKeepsCommitmentHistory(t *testing.T) {
+	s, vc := newStore(t)
+	recs := ehr.NewGenerator(8, epoch).Corpus(5)
+	for i := range recs {
+		recs[i].CreatedAt = epoch
+		if err := s.Put(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	headBefore := s.Head()
+	vc.Advance(40 * 365 * 24 * time.Hour)
+	if err := s.Dispose(recs[2].ID); err != nil {
+		t.Fatal(err)
+	}
+	// The commitment log did not shrink: destruction is accounted for.
+	if got := s.Head().Size; got != headBefore.Size {
+		t.Errorf("head size changed on dispose: %d -> %d", headBefore.Size, got)
+	}
+	if err := s.CheckExtends(headBefore); err != nil {
+		t.Errorf("post-dispose consistency: %v", err)
+	}
+	// The remaining records still verify.
+	if err := s.Verify(); err != nil {
+		t.Errorf("Verify after dispose: %v", err)
+	}
+}
