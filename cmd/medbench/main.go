@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"medvault/internal/experiments"
+	"medvault/internal/obs"
 )
 
 func main() {
@@ -80,5 +82,89 @@ func run(which, scale string) error {
 		fmt.Println(tbl.String())
 		fmt.Printf("(%s completed in %s)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
 	}
+	printMetricsBreakdown(os.Stdout)
 	return nil
+}
+
+// printMetricsBreakdown renders the per-mechanism cost split accumulated in
+// the process-wide metrics registry across every experiment that just ran.
+// The experiments report end-to-end numbers; this table attributes them —
+// how much of the run went to sealing vs indexing vs auditing vs fsync —
+// from the very same instrumentation medvaultd exposes on /metrics.
+func printMetricsBreakdown(w *os.File) {
+	fams := map[string]obs.FamilySnapshot{}
+	for _, f := range obs.Default.Snapshot() {
+		fams[f.Name] = f
+	}
+	hist := func(name string) (obs.HistSnapshot, bool) {
+		f, ok := fams[name]
+		if !ok {
+			return obs.HistSnapshot{}, false
+		}
+		h, ok := f.MergedHist()
+		return h, ok && h.Count > 0
+	}
+
+	mechanisms := []struct{ label, metric string }{
+		{"encrypt (seal)", "medvault_crypto_seal_seconds"},
+		{"decrypt (open)", "medvault_crypto_open_seconds"},
+		{"index add", "medvault_index_add_seconds"},
+		{"index search", "medvault_index_search_seconds"},
+		{"audit append", "medvault_audit_append_seconds"},
+		{"WAL fsync", "medvault_wal_fsync_seconds"},
+		{"blockstore append", "medvault_blockstore_append_seconds"},
+		{"blockstore read", "medvault_blockstore_read_seconds"},
+	}
+	fmt.Fprintln(w, "Per-mechanism latency breakdown (process-wide metrics registry, all experiments)")
+	fmt.Fprintf(w, "  %-18s %9s %10s %9s %9s %9s %9s\n",
+		"mechanism", "count", "total", "mean", "p50", "p95", "p99")
+	for _, m := range mechanisms {
+		h, ok := hist(m.metric)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s %9d %10s %9s %9s %9s %9s\n",
+			m.label, h.Count, secs(h.Sum), secs(h.Mean()),
+			secs(h.Quantile(0.50)), secs(h.Quantile(0.95)), secs(h.Quantile(0.99)))
+	}
+
+	// Vault operations, merged across outcomes per op label.
+	if f, ok := fams["medvault_core_op_seconds"]; ok {
+		byOp := map[string]obs.HistSnapshot{}
+		for _, s := range f.Series {
+			op := "unknown"
+			for _, l := range s.Labels {
+				if l.Key == "op" {
+					op = l.Value
+				}
+			}
+			if prev, seen := byOp[op]; seen {
+				byOp[op] = prev.Merge(*s.Hist)
+			} else {
+				byOp[op] = *s.Hist
+			}
+		}
+		ops := make([]string, 0, len(byOp))
+		for op := range byOp {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		fmt.Fprintln(w, "\nVault operations (all outcomes)")
+		fmt.Fprintf(w, "  %-18s %9s %10s %9s %9s %9s %9s\n",
+			"op", "count", "total", "mean", "p50", "p95", "p99")
+		for _, op := range ops {
+			h := byOp[op]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-18s %9d %10s %9s %9s %9s %9s\n",
+				op, h.Count, secs(h.Sum), secs(h.Mean()),
+				secs(h.Quantile(0.50)), secs(h.Quantile(0.95)), secs(h.Quantile(0.99)))
+		}
+	}
+}
+
+// secs renders a duration measured in seconds at a bench-friendly precision.
+func secs(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(time.Microsecond).String()
 }

@@ -8,7 +8,9 @@
 // with 'medvault grant' (the server reads principals.conf at startup).
 // With -tls-cert/-tls-key the server speaks HTTPS — the paper requires
 // encryption on "the data pathways leading to and out", not just at rest.
-// See internal/httpapi for the route list.
+// GET /metrics exposes Prometheus-format counters and latency histograms
+// for every vault mechanism (core ops, HTTP routes, WAL fsync, blockstore
+// I/O, crypto, index, audit). See internal/httpapi for the route list.
 package main
 
 import (

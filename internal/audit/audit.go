@@ -27,7 +27,19 @@ import (
 	"time"
 
 	"medvault/internal/blockstore"
+	"medvault/internal/obs"
 	"medvault/internal/vcrypto"
+)
+
+// Audit instrumentation: event volume by outcome and the time each append
+// (hash, MAC, persist) costs the operation that triggered it.
+var (
+	metEvents = func(outcome Outcome) *obs.Counter {
+		return obs.Default.Counter("medvault_audit_events_total",
+			"Audit events appended, by outcome.", obs.L("outcome", string(outcome)))
+	}
+	metAppendSeconds = obs.Default.Histogram("medvault_audit_append_seconds",
+		"Latency of one audit-chain append (hash, MAC, persist).", obs.LatencyBuckets)
 )
 
 // Action classifies an audited operation.
@@ -201,6 +213,8 @@ func (l *Log) checkLink(e Event) error {
 // Timestamp, Seq, PrevHash, Hash, and MAC are assigned by the log; caller
 // fields in those positions are ignored.
 func (l *Log) Append(e Event) (Event, error) {
+	start := time.Now()
+	defer metAppendSeconds.ObserveSince(start)
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e.Seq = uint64(len(l.events))
@@ -213,6 +227,7 @@ func (l *Log) Append(e Event) (Event, error) {
 	}
 	l.events = append(l.events, e)
 	l.lastHash = e.Hash
+	metEvents(e.Outcome).Inc()
 	if l.every > 0 && len(l.events)%l.every == 0 {
 		l.cps = append(l.cps, l.checkpointLocked())
 	}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+
+	"medvault/internal/obs"
 )
 
 // Errors returned by the package.
@@ -70,3 +72,38 @@ const (
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 func checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// metrics bundles the I/O instrumentation for one backend kind. All stores
+// of a backend share one set, labeled backend="file" or backend="memory",
+// so the /metrics view separates real disk traffic from in-memory traffic.
+type metrics struct {
+	appends, appendBytes      *obs.Counter
+	reads, readBytes          *obs.Counter
+	appendSeconds, readSeconds *obs.Histogram
+	syncSeconds               *obs.Histogram
+}
+
+func newMetrics(backend string) *metrics {
+	l := obs.L("backend", backend)
+	return &metrics{
+		appends: obs.Default.Counter("medvault_blockstore_appends_total",
+			"Blocks appended.", l),
+		appendBytes: obs.Default.Counter("medvault_blockstore_append_bytes_total",
+			"Bytes appended, framing included.", l),
+		reads: obs.Default.Counter("medvault_blockstore_reads_total",
+			"Blocks read.", l),
+		readBytes: obs.Default.Counter("medvault_blockstore_read_bytes_total",
+			"Payload bytes read.", l),
+		appendSeconds: obs.Default.Histogram("medvault_blockstore_append_seconds",
+			"Block append latency.", obs.LatencyBuckets, l),
+		readSeconds: obs.Default.Histogram("medvault_blockstore_read_seconds",
+			"Block read latency.", obs.LatencyBuckets, l),
+		syncSeconds: obs.Default.Histogram("medvault_blockstore_sync_seconds",
+			"Store sync (fsync) latency.", obs.LatencyBuckets, l),
+	}
+}
+
+var (
+	fileMetrics   = newMetrics("file")
+	memoryMetrics = newMetrics("memory")
+)

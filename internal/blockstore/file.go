@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // File is a Store backed by segment files in a directory. Segments are named
@@ -143,6 +144,7 @@ func (f *File) openSegment(i int) error {
 
 // Append implements Store.
 func (f *File) Append(data []byte) (Ref, error) {
+	start := time.Now()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.closed {
@@ -168,11 +170,15 @@ func (f *File) Append(data []byte) (Ref, error) {
 	}
 	f.sizes[cur] += int64(len(frame))
 	f.count++
+	fileMetrics.appends.Inc()
+	fileMetrics.appendBytes.Add(uint64(len(frame)))
+	fileMetrics.appendSeconds.ObserveSince(start)
 	return ref, nil
 }
 
 // Read implements Store.
 func (f *File) Read(ref Ref) ([]byte, error) {
+	start := time.Now()
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if f.closed {
@@ -205,6 +211,9 @@ func (f *File) Read(ref Ref) ([]byte, error) {
 	if checksum(payload) != crc {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
+	fileMetrics.reads.Inc()
+	fileMetrics.readBytes.Add(uint64(len(payload)))
+	fileMetrics.readSeconds.ObserveSince(start)
 	return payload, nil
 }
 
@@ -265,9 +274,11 @@ func (f *File) Sync() error {
 	if f.closed {
 		return ErrClosed
 	}
+	start := time.Now()
 	if err := f.active.Sync(); err != nil {
 		return fmt.Errorf("blockstore: sync: %w", err)
 	}
+	fileMetrics.syncSeconds.ObserveSince(start)
 	return nil
 }
 

@@ -47,6 +47,8 @@ func (m *Memory) Append(data []byte) (Ref, error) {
 	ref := Ref{Segment: uint32(cur), Offset: uint64(len(m.segments[cur]))}
 	m.segments[cur] = append(m.segments[cur], frame...)
 	m.count++
+	memoryMetrics.appends.Inc()
+	memoryMetrics.appendBytes.Add(uint64(len(frame)))
 	return ref, nil
 }
 
@@ -65,6 +67,10 @@ func (m *Memory) Read(ref Ref) ([]byte, error) {
 		return nil, fmt.Errorf("%w: offset %d beyond segment end %d", ErrNotFound, ref.Offset, len(seg))
 	}
 	data, _, err := decodeFrame(seg[ref.Offset:])
+	if err == nil {
+		memoryMetrics.reads.Inc()
+		memoryMetrics.readBytes.Add(uint64(len(data)))
+	}
 	return data, err
 }
 

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/obs"
+)
+
+// Vault-level instrumentation. Every public operation reports its latency
+// and outcome here, giving the top line of the security-vs-performance
+// accounting; the per-mechanism histograms (crypto, index, audit, WAL,
+// blockstore) recorded by the lower layers explain where that time went.
+var (
+	metLiveRecords = obs.Default.Gauge("medvault_records_live",
+		"Live (non-shredded) records across vaults in this process.")
+	metProvenanceErrors = obs.Default.Counter("medvault_provenance_append_errors_total",
+		"Custody-chain appends that failed after the operation's state was already committed.")
+)
+
+// observeOp is deferred at the top of each vault operation:
+//
+//	defer observeOp("put", time.Now())(&err)
+//
+// The outer call captures the start time; the returned func reads the named
+// error at return time and records one latency observation and one outcome-
+// labeled count.
+func observeOp(op string, start time.Time) func(*error) {
+	return func(errp *error) {
+		outcome := outcomeLabel(*errp)
+		obs.Default.Counter("medvault_core_ops_total",
+			"Vault operations by outcome.",
+			obs.L("op", op), obs.L("outcome", outcome)).Inc()
+		obs.Default.Histogram("medvault_core_op_seconds",
+			"Vault operation latency.", obs.LatencyBuckets,
+			obs.L("op", op), obs.L("outcome", outcome)).ObserveSince(start)
+	}
+}
+
+// outcomeLabel buckets an operation error into a low-cardinality label.
+func outcomeLabel(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrDenied):
+		return "denied"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
+	case errors.Is(err, ErrShredded):
+		return "shredded"
+	case errors.Is(err, ErrExists):
+		return "exists"
+	case errors.Is(err, ErrTampered):
+		return "tampered"
+	default:
+		return "error"
+	}
+}
+
+// provenanceWarn surfaces a custody-chain append failure that happened after
+// the operation's state was already durably committed. Failing the operation
+// at that point would lie to the caller — the version exists, is indexed,
+// and is Merkle-committed, so a retried Put would hit ErrExists — therefore
+// the gap is reported as a post-commit warning: an audit event with an error
+// outcome plus a counter alerting operators that a chain is incomplete.
+func (v *Vault) provenanceWarn(action audit.Action, actor, id string, err error) {
+	metProvenanceErrors.Inc()
+	_, _ = v.aud.Append(audit.Event{
+		Actor: actor, Action: action, Record: id,
+		Outcome: audit.OutcomeError,
+		Detail:  "custody chain append failed after commit: " + err.Error(),
+	})
+}

@@ -109,7 +109,8 @@ func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek 
 // Put stores a new record on behalf of actor. The actor needs write
 // permission for the record's category. The record's own CreatedAt starts
 // its retention clock.
-func (v *Vault) Put(actor string, rec ehr.Record) (Version, error) {
+func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
+	defer observeOp("put", time.Now())(&err)
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
 	}
@@ -151,8 +152,14 @@ func (v *Vault) Put(actor string, rec ehr.Record) (Version, error) {
 		created:  rec.CreatedAt.UTC(),
 		versions: []Version{ver},
 	}
+	metLiveRecords.Add(1)
+	// The version is committed (stored, WAL-logged, Merkle-committed,
+	// indexed) and visible; from here the Put has happened. A custody-chain
+	// failure is surfaced as a post-commit warning, not an error — returning
+	// an error for an existing record would strand the caller, whose retry
+	// can only get ErrExists.
 	if _, err := v.prov.Record(rec.ID, provenance.EventCreated, actor, ver.CtHash, ""); err != nil {
-		return Version{}, err
+		v.provenanceWarn(audit.ActionCreate, actor, rec.ID, err)
 	}
 	return ver, nil
 }
@@ -183,7 +190,8 @@ func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
 
 // Get returns the latest version of the record. The read — allowed or
 // denied — is audited.
-func (v *Vault) Get(actor, id string) (ehr.Record, Version, error) {
+func (v *Vault) Get(actor, id string) (_ ehr.Record, _ Version, err error) {
+	defer observeOp("get", time.Now())(&err)
 	v.mu.RLock()
 	st, err := v.stateFor(id)
 	var category string
@@ -211,7 +219,8 @@ func (v *Vault) Get(actor, id string) (ehr.Record, Version, error) {
 }
 
 // GetVersion returns a specific historical version (1-based).
-func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version, error) {
+func (v *Vault) GetVersion(actor, id string, number uint64) (_ ehr.Record, _ Version, err error) {
+	defer observeOp("get_version", time.Now())(&err)
 	v.mu.RLock()
 	st, err := v.stateFor(id)
 	var category string
@@ -226,6 +235,12 @@ func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version
 	}
 	v.mu.RUnlock()
 	if err != nil {
+		// Audit the failed attempt too, exactly as Get does: probing for
+		// unknown records or versions is signal.
+		_, _ = v.aud.Append(audit.Event{
+			Actor: actor, Action: audit.ActionRead, Record: id, Version: number,
+			Outcome: audit.OutcomeError, Detail: err.Error(),
+		})
 		return ehr.Record{}, Version{}, err
 	}
 	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, number, category); err != nil {
@@ -239,7 +254,8 @@ func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version
 
 // History returns the version metadata of the record, oldest first. It does
 // not decrypt content, but still requires (and audits) read permission.
-func (v *Vault) History(actor, id string) ([]Version, error) {
+func (v *Vault) History(actor, id string) (_ []Version, err error) {
+	defer observeOp("history", time.Now())(&err)
 	v.mu.RLock()
 	st, err := v.stateFor(id)
 	var category string
@@ -250,6 +266,11 @@ func (v *Vault) History(actor, id string) ([]Version, error) {
 	}
 	v.mu.RUnlock()
 	if err != nil {
+		// Unknown-record probing is signal here too; see Get.
+		_, _ = v.aud.Append(audit.Event{
+			Actor: actor, Action: audit.ActionRead, Record: id,
+			Outcome: audit.OutcomeError, Detail: err.Error(),
+		})
 		return nil, err
 	}
 	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, 0, category); err != nil {
@@ -262,7 +283,8 @@ func (v *Vault) History(actor, id string) ([]Version, error) {
 // the prior version stays readable via GetVersion, and the correction is
 // committed, indexed, audited, and recorded in the custody chain. This is
 // the capability the paper finds missing from compliance WORM storage.
-func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
+func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
+	defer observeOp("correct", time.Now())(&err)
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
 	}
@@ -301,8 +323,10 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
 		return Version{}, err
 	}
 	st.versions = append(st.versions, ver)
+	// Committed and visible; custody failure is a post-commit warning (see
+	// Put) — the correction must not be reported as failed when it exists.
 	if _, err := v.prov.Record(rec.ID, provenance.EventCorrected, actor, ver.CtHash, ""); err != nil {
-		return Version{}, err
+		v.provenanceWarn(audit.ActionCorrect, actor, rec.ID, err)
 	}
 	return ver, nil
 }
@@ -310,7 +334,8 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
 // Search returns the IDs of records matching keyword that the actor is
 // allowed to read — results outside the actor's categories are filtered,
 // enforcing minimum-necessary even through search.
-func (v *Vault) Search(actor, keyword string) ([]string, error) {
+func (v *Vault) Search(actor, keyword string) (_ []string, err error) {
+	defer observeOp("search", time.Now())(&err)
 	if err := v.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -357,7 +382,8 @@ func (v *Vault) Search(actor, keyword string) ([]string, error) {
 // SearchAll returns the IDs of readable records containing every keyword
 // (conjunctive search), with the same authorization and filtering semantics
 // as Search.
-func (v *Vault) SearchAll(actor string, keywords ...string) ([]string, error) {
+func (v *Vault) SearchAll(actor string, keywords ...string) (_ []string, err error) {
+	defer observeOp("search", time.Now())(&err)
 	if err := v.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -403,7 +429,8 @@ func (v *Vault) SearchAll(actor string, keywords ...string) ([]string, error) {
 // in place. The ciphertext remains in the append-only log — permanently
 // unreadable — and the Merkle history of the record's existence is
 // preserved, as disposition accountability requires.
-func (v *Vault) Shred(actor, id string) error {
+func (v *Vault) Shred(actor, id string) (err error) {
+	defer observeOp("shred", time.Now())(&err)
 	v.mu.RLock()
 	st, err := v.stateFor(id)
 	var category string
@@ -444,8 +471,11 @@ func (v *Vault) Shred(actor, id string) error {
 	v.idx.Remove(id)
 	v.ret.Forget(id)
 	st.shredded = true
+	metLiveRecords.Add(-1)
+	// The key is destroyed and the shred is WAL-logged — it has happened;
+	// a custody failure here is the same post-commit warning as in Put.
 	if _, err := v.prov.Record(id, provenance.EventShredded, actor, [32]byte{}, ""); err != nil {
-		return err
+		v.provenanceWarn(audit.ActionDelete, actor, id, err)
 	}
 	return nil
 }

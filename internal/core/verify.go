@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"medvault/internal/audit"
 	"medvault/internal/merkle"
@@ -38,7 +39,8 @@ type Report struct {
 //     audit checkpoints must match.
 //
 // The verification itself is written to the audit log.
-func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedCheckpoints []audit.Checkpoint) (Report, error) {
+func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedCheckpoints []audit.Checkpoint) (_ Report, err error) {
+	defer observeOp("verify_all", time.Now())(&err)
 	var rep Report
 	v.mu.RLock()
 	ids := make([]string, 0, len(v.records))

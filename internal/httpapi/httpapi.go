@@ -9,6 +9,7 @@
 // Routes:
 //
 //	GET    /healthz                      liveness
+//	GET    /metrics                      Prometheus text-format metrics
 //	POST   /records                      create (body: record JSON)
 //	GET    /records/{id}                 latest version
 //	GET    /records/{id}/versions/{n}    specific version
@@ -37,6 +38,7 @@ import (
 	"medvault/internal/authz"
 	"medvault/internal/core"
 	"medvault/internal/ehr"
+	"medvault/internal/obs"
 )
 
 // actorHeader names the authenticated principal.
@@ -70,11 +72,63 @@ func New(v *core.Vault) *Server {
 	s.mux.HandleFunc("GET /retention/holds", s.handleListHolds)
 	s.mux.HandleFunc("PUT /records/{id}/hold", s.handlePlaceHold)
 	s.mux.HandleFunc("DELETE /records/{id}/hold", s.handleReleaseHold)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// statusWriter captures the response status for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// ServeHTTP implements http.Handler. Every request — matched or not — is
+// measured: request count by route pattern and status class, and latency by
+// route. The matched mux pattern (e.g. "GET /records/{id}") is the route
+// label, so path parameters never create new series (and record IDs, which
+// are PHI-adjacent, never reach the metrics output).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	_, route := s.mux.Handler(r)
+	if route == "" {
+		route = "unmatched"
+	}
+	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+	s.mux.ServeHTTP(sw, r)
+	obs.Default.Counter("medvault_http_requests_total",
+		"HTTP requests by route pattern and status class.",
+		obs.L("route", route), obs.L("status", statusClass(sw.status))).Inc()
+	obs.Default.Histogram("medvault_http_request_seconds",
+		"HTTP request latency by route pattern.", obs.LatencyBuckets,
+		obs.L("route", route)).ObserveSince(start)
+}
+
+// statusClass buckets a status code into 2xx/3xx/4xx/5xx.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}
+
+// handleMetrics serves the process-wide registry in Prometheus text format.
+// Deliberately unauthenticated, like /healthz: the output contains counts
+// and latencies only — no identifiers, no PHI.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = obs.Default.WritePrometheus(w)
+}
 
 // errorBody is the JSON error envelope.
 type errorBody struct {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -406,5 +407,65 @@ func TestBadJSONRejected(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad JSON = %d", resp.StatusCode)
+	}
+}
+
+// TestMetricsEndpoint drives a few requests through the instrumented mux and
+// checks that /metrics exposes the vault-wide registry in Prometheus text
+// format: HTTP per-route series, core op series, and the mechanism-level
+// audit/crypto metrics recorded by the layers below.
+func TestMetricsEndpoint(t *testing.T) {
+	ts, _ := newServer(t)
+
+	rec := map[string]any{
+		"id": "mrn-1-enc-1", "patient": "Pat Doe", "mrn": "mrn-1",
+		"category": "clinical", "title": "visit", "body": "hypertension follow-up",
+	}
+	if code := do(t, ts, http.MethodPost, "/records", "dr-house", rec, nil); code != http.StatusCreated {
+		t.Fatalf("create = %d", code)
+	}
+	if code := do(t, ts, http.MethodGet, "/records/mrn-1-enc-1", "dr-house", nil, nil); code != http.StatusOK {
+		t.Fatalf("get = %d", code)
+	}
+	// A 404 must be counted under its route pattern with status 4xx.
+	if code := do(t, ts, http.MethodGet, "/records/nope", "dr-house", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("missing get = %d", code)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE medvault_http_requests_total counter",
+		`medvault_http_requests_total{route="POST /records",status="2xx"}`,
+		`medvault_http_requests_total{route="GET /records/{id}",status="4xx"}`,
+		"# TYPE medvault_http_request_seconds histogram",
+		`medvault_core_ops_total{op="put",outcome="ok"}`,
+		"medvault_core_op_seconds_bucket",
+		"medvault_audit_events_total",
+		"medvault_crypto_seal_seconds_count",
+		"medvault_merkle_leaves_total",
+		"medvault_records_live",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+	// Nothing request-specific may leak into the metric labels.
+	if strings.Contains(body, "mrn-1") {
+		t.Error("/metrics leaks record identifiers")
 	}
 }

@@ -7,8 +7,19 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
+	"medvault/internal/obs"
 	"medvault/internal/vcrypto"
+)
+
+// Index instrumentation: the SSE share of write and query cost, for the
+// encrypted-vs-plaintext index overhead curve (experiment E4).
+var (
+	metAddSeconds = obs.Default.Histogram("medvault_index_add_seconds",
+		"SSE index document-ingest latency.", obs.LatencyBuckets)
+	metSearchSeconds = obs.Default.Histogram("medvault_index_search_seconds",
+		"SSE index query latency.", obs.LatencyBuckets)
 )
 
 // SSE is a searchable-symmetric-encryption index. Keywords never appear in
@@ -50,6 +61,7 @@ func (s *SSE) token(word string) string {
 
 // Add implements Index.
 func (s *SSE) Add(id, text string) {
+	defer metAddSeconds.ObserveSince(time.Now())
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.removeLocked(id)
@@ -70,6 +82,7 @@ func (s *SSE) Add(id, text string) {
 
 // Search implements Index.
 func (s *SSE) Search(keyword string) []string {
+	defer metSearchSeconds.ObserveSince(time.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	set := s.postings[s.token(NormalizeQuery(keyword))]
@@ -86,6 +99,7 @@ func (s *SSE) Search(keyword string) []string {
 // search (the server learns which tokens co-occur in the query, nothing
 // lexical).
 func (s *SSE) SearchAll(keywords ...string) []string {
+	defer metSearchSeconds.ObserveSince(time.Now())
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	sets := make([]map[string]bool, 0, len(keywords))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"medvault/internal/obs"
 	"medvault/internal/vcrypto"
 )
 
@@ -66,8 +67,16 @@ func LogFromLeafHashes(signer *vcrypto.Signer, now func() time.Time, leaves []Ha
 	return l
 }
 
+// metLeaves counts commitment-log appends; with the audit counter it gives
+// the integrity-mechanism share of write amplification.
+var metLeaves = obs.Default.Counter("medvault_merkle_leaves_total",
+	"Leaves committed to the Merkle log.")
+
 // Append commits data and returns its leaf index.
-func (l *Log) Append(data []byte) uint64 { return l.tree.Append(data) }
+func (l *Log) Append(data []byte) uint64 {
+	metLeaves.Inc()
+	return l.tree.Append(data)
+}
 
 // Size returns the number of committed leaves.
 func (l *Log) Size() uint64 { return l.tree.Size() }

@@ -5,6 +5,18 @@ import (
 	"crypto/cipher"
 	"crypto/rand"
 	"fmt"
+	"time"
+
+	"medvault/internal/obs"
+)
+
+// Crypto instrumentation: the paper's first overhead question is "what does
+// the encryption itself cost?" — these histograms answer it directly.
+var (
+	metSealSeconds = obs.Default.Histogram("medvault_crypto_seal_seconds",
+		"AES-GCM seal (encrypt) latency.", obs.LatencyBuckets)
+	metOpenSeconds = obs.Default.Histogram("medvault_crypto_open_seconds",
+		"AES-GCM open (decrypt) latency.", obs.LatencyBuckets)
 )
 
 // Seal encrypts plaintext with AES-256-GCM under key, binding the associated
@@ -15,6 +27,7 @@ import (
 // "recordID/version" — so that a malicious insider cannot swap two valid
 // ciphertexts between records without detection.
 func Seal(key Key, plaintext, aad []byte) ([]byte, error) {
+	defer metSealSeconds.ObserveSince(time.Now())
 	gcm, err := newGCM(key)
 	if err != nil {
 		return nil, err
@@ -30,6 +43,7 @@ func Seal(key Key, plaintext, aad []byte) ([]byte, error) {
 // and aad. It returns ErrDecrypt if the ciphertext, tag, or aad has been
 // altered, or if the key is wrong.
 func Open(key Key, blob, aad []byte) ([]byte, error) {
+	defer metOpenSeconds.ObserveSince(time.Now())
 	gcm, err := newGCM(key)
 	if err != nil {
 		return nil, err

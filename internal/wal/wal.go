@@ -16,7 +16,26 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"medvault/internal/obs"
 )
+
+// Package metrics: every Log in the process shares these, mirroring how all
+// WAL traffic shares the underlying disk.
+var (
+	metAppends = obs.Default.Counter("medvault_wal_appends_total",
+		"WAL entries durably appended.")
+	metAppendBytes = obs.Default.Counter("medvault_wal_append_bytes_total",
+		"Bytes appended to the WAL, framing included.")
+	metFsync = obs.Default.Histogram("medvault_wal_fsync_seconds",
+		"Latency of the fsync that makes each WAL append durable.", obs.LatencyBuckets)
+	metCheckpoints = obs.Default.Counter("medvault_wal_checkpoints_total",
+		"WAL checkpoints completed.")
+)
+
+// renameFile is swapped out by tests to inject checkpoint rename failures.
+var renameFile = os.Rename
 
 // Errors returned by the package.
 var (
@@ -108,9 +127,13 @@ func (l *Log) Append(data []byte) (uint64, error) {
 	if _, err := l.f.Write(buf); err != nil {
 		return 0, fmt.Errorf("wal: appending entry %d: %w", seq, err)
 	}
+	syncStart := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return 0, fmt.Errorf("wal: syncing entry %d: %w", seq, err)
 	}
+	metFsync.ObserveSince(syncStart)
+	metAppends.Inc()
+	metAppendBytes.Add(uint64(len(buf)))
 	l.nextSeq++
 	l.size += int64(len(buf))
 	return seq, nil
@@ -134,38 +157,43 @@ func (l *Log) Size() int64 {
 // captured elsewhere (e.g. blockstore sync). Sequence numbering restarts at
 // zero: sequences are per-checkpoint-generation, and a replay only ever sees
 // the entries appended since the last checkpoint.
+//
+// Checkpoint is failure-atomic: the replacement file is built, synced, and
+// renamed into place before the live handle is touched, so if any step fails
+// the log keeps its current contents and Append keeps working. (An earlier
+// version closed the live handle first, leaving the log permanently broken
+// when the rename failed.)
 func (l *Log) Checkpoint() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if err := l.f.Close(); err != nil {
-		return fmt.Errorf("wal: checkpoint close: %w", err)
-	}
-	// Atomically replace the log with an empty file.
+	// Build the empty replacement without touching the live handle. The tmp
+	// handle is kept open: after the rename it refers to the live log file
+	// (rename moves the name, the descriptor follows the inode), so no
+	// reopen — which could itself fail — is needed.
 	tmp := l.path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	nf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint temp: %w", err)
 	}
-	if err := f.Sync(); err != nil {
-		f.Close()
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint temp sync: %w", err)
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("wal: checkpoint temp close: %w", err)
-	}
-	if err := os.Rename(tmp, l.path); err != nil {
+	if err := renameFile(tmp, l.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint rename: %w", err)
 	}
-	nf, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o600)
-	if err != nil {
-		return fmt.Errorf("wal: checkpoint reopen: %w", err)
-	}
+	old := l.f
 	l.f = nf
 	l.size = 0
 	l.nextSeq = 0
+	_ = old.Close() // best-effort; the handle points at the unlinked old file
+	metCheckpoints.Inc()
 	return nil
 }
 

@@ -250,3 +250,80 @@ func TestEmptyPayloadAllowed(t *testing.T) {
 		t.Errorf("replayed %d entries, want 1", n)
 	}
 }
+
+// TestCheckpointRenameFailureKeepsLogUsable is the regression test for the
+// checkpoint failure-atomicity bug: the old implementation closed the live
+// handle before building the replacement, so a failed rename left the log
+// holding a closed file and every later Append failed permanently.
+func TestCheckpointRenameFailureKeepsLogUsable(t *testing.T) {
+	l, path := openTemp(t, nil)
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	injected := errors.New("injected rename failure")
+	renameFile = func(_, _ string) error { return injected }
+	err := l.Checkpoint()
+	renameFile = os.Rename
+	if !errors.Is(err, injected) {
+		t.Fatalf("Checkpoint error = %v, want injected failure", err)
+	}
+
+	// The log must still accept appends, continuing the sequence.
+	seq, err := l.Append([]byte("post"))
+	if err != nil {
+		t.Fatalf("Append after failed checkpoint: %v", err)
+	}
+	if seq != 5 {
+		t.Errorf("seq after failed checkpoint = %d, want 5", seq)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("checkpoint temp file left behind: %v", err)
+	}
+	l.Close()
+
+	// Reopen: all six entries survive — the failed checkpoint dropped nothing.
+	var got []Entry
+	re, err := Open(path, func(e Entry) error { got = append(got, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if len(got) != 6 {
+		t.Fatalf("replayed %d entries, want 6", len(got))
+	}
+	if string(got[5].Data) != "post" {
+		t.Errorf("last entry = %q, want %q", got[5].Data, "post")
+	}
+}
+
+// TestCheckpointTempFailureKeepsLogUsable covers the earlier failure point:
+// the temp file cannot be created at all.
+func TestCheckpointTempFailureKeepsLogUsable(t *testing.T) {
+	l, path := openTemp(t, nil)
+	if _, err := l.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the temp path with a directory so O_CREATE fails.
+	if err := os.Mkdir(path+".tmp", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint succeeded with unusable temp path")
+	}
+	if err := os.Remove(path + ".tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatalf("Append after failed checkpoint: %v", err)
+	}
+	// And a subsequent checkpoint with the obstruction gone succeeds.
+	if err := l.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint after recovery: %v", err)
+	}
+	if l.NextSeq() != 0 {
+		t.Errorf("NextSeq after checkpoint = %d, want 0", l.NextSeq())
+	}
+}
