@@ -7,26 +7,41 @@
 //	medbench                  # run everything at full scale
 //	medbench -scale quick     # CI-sized run
 //	medbench -e e1,e3         # selected experiments only
+//	medbench -workers 8       # concurrency scaling table instead of E1–E9
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
+	"medvault/internal/core"
+	"medvault/internal/ehr"
 	"medvault/internal/experiments"
 	"medvault/internal/obs"
+	"medvault/internal/vcrypto"
 )
 
 func main() {
 	var (
-		which = flag.String("e", "all", "comma-separated experiment ids (e1..e9) or 'all'")
-		scale = flag.String("scale", "full", "'full' or 'quick'")
+		which   = flag.String("e", "all", "comma-separated experiment ids (e1..e9) or 'all'")
+		scale   = flag.String("scale", "full", "'full' or 'quick'")
+		workers = flag.Int("workers", 0, "when > 0, run the throughput-vs-goroutines scaling table up to this many workers instead of the experiments")
+		backend = flag.String("backend", "memory", "vault backend for -workers: 'memory' or 'file' (file adds the WAL + fsync path, where group commit pays off)")
 	)
 	flag.Parse()
+	if *workers > 0 {
+		if err := runScaling(*workers, *backend, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, "medbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*which, *scale); err != nil {
 		fmt.Fprintln(os.Stderr, "medbench:", err)
 		os.Exit(1)
@@ -84,6 +99,184 @@ func run(which, scale string) error {
 	}
 	printMetricsBreakdown(os.Stdout)
 	return nil
+}
+
+// runScaling measures Put throughput against one vault as the number of
+// concurrent workers grows — the end-to-end check on the striped lock
+// manager and WAL group commit. Every number in the table is read back from
+// the process-wide metrics registry (counter deltas around each run), not
+// from harness-side bookkeeping, so the table exercises the same
+// observability surface medvaultd exposes on /metrics.
+func runScaling(maxWorkers int, backend, scale string) error {
+	if backend != "memory" && backend != "file" {
+		return fmt.Errorf("unknown backend %q (want memory or file)", backend)
+	}
+	if scale != "full" && scale != "quick" {
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	total := 2000
+	if backend == "file" {
+		total = 600 // every batch fsyncs; keep wall time sane
+	}
+	if scale == "quick" {
+		total /= 5
+	}
+
+	series := []int{1}
+	for w := 2; w < maxWorkers; w *= 2 {
+		series = append(series, w)
+	}
+	if maxWorkers > 1 {
+		series = append(series, maxWorkers)
+	}
+
+	fmt.Printf("MedVault concurrency scaling — backend=%s, %d puts per run, GOMAXPROCS=%d\n",
+		backend, total, runtime.GOMAXPROCS(0))
+	fmt.Printf("(speedup is relative to the 1-worker run; on a single-CPU host the memory\n")
+	fmt.Printf("backend cannot exceed 1× — the file backend still gains from shared fsyncs)\n\n")
+	fmt.Printf("  %7s %8s %9s %10s %8s", "workers", "puts", "seconds", "puts/sec", "speedup")
+	if backend == "file" {
+		fmt.Printf(" %8s %9s", "fsyncs", "batching")
+	}
+	fmt.Println()
+
+	var baseline float64
+	for _, w := range series {
+		r, err := scalingRun(w, total, backend)
+		if err != nil {
+			return err
+		}
+		if baseline == 0 {
+			baseline = r.rate
+		}
+		fmt.Printf("  %7d %8d %9.3f %10.0f %7.2fx", w, r.puts, r.secs, r.rate, r.rate/baseline)
+		if backend == "file" {
+			batching := float64(r.walAppends)
+			if r.groupCommits > 0 {
+				batching /= float64(r.groupCommits)
+			}
+			fmt.Printf(" %8d %9.1f", r.groupCommits, batching)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+type scalingResult struct {
+	puts         uint64
+	secs         float64
+	rate         float64
+	groupCommits uint64
+	walAppends   uint64
+}
+
+// scalingRun drives total puts through a fresh vault from w workers and
+// reports registry counter deltas plus wall time.
+func scalingRun(w, total int, backend string) (scalingResult, error) {
+	cfg := core.Config{Name: "medbench-scaling", Master: mustNewKey(), Clock: nil}
+	var dir string
+	if backend == "file" {
+		var err error
+		if dir, err = os.MkdirTemp("", "medbench-scaling-*"); err != nil {
+			return scalingResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	v, err := core.Open(cfg)
+	if err != nil {
+		return scalingResult{}, err
+	}
+	defer v.Close()
+	a, err := core.NewAdapter(v)
+	if err != nil {
+		return scalingResult{}, err
+	}
+
+	putsBefore := counterValue("medvault_core_ops_total", obs.L("op", "put"), obs.L("outcome", "ok"))
+	gcBefore := counterValue("medvault_wal_group_commits_total")
+	walBefore := counterValue("medvault_wal_appends_total")
+
+	perWorker := total / w
+	var wg sync.WaitGroup
+	errs := make(chan error, w)
+	start := time.Now()
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := ehr.Record{
+					ID:      fmt.Sprintf("scale-w%d-g%d-%d", w, g, i),
+					Patient: "Scaling Patient", MRN: fmt.Sprintf("mrn-%d-%d-%d", w, g, i),
+					Category: ehr.CategoryClinical, Author: "bench-admin",
+					CreatedAt: experiments.Epoch,
+					Title:     "scaling note", Body: "throughput probe",
+				}
+				if err := a.Put(rec); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return scalingResult{}, err
+	}
+
+	puts := counterValue("medvault_core_ops_total", obs.L("op", "put"), obs.L("outcome", "ok")) - putsBefore
+	return scalingResult{
+		puts:         uint64(puts),
+		secs:         elapsed,
+		rate:         puts / elapsed,
+		groupCommits: uint64(counterValue("medvault_wal_group_commits_total") - gcBefore),
+		walAppends:   uint64(counterValue("medvault_wal_appends_total") - walBefore),
+	}, nil
+}
+
+// counterValue reads one counter series from the process registry; series
+// labels must match wanted exactly (order-insensitive). Missing series read
+// as zero, which is what a delta wants before the first increment.
+func counterValue(name string, wanted ...obs.Label) float64 {
+	for _, f := range obs.Default.Snapshot() {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Series {
+			if len(s.Labels) != len(wanted) {
+				continue
+			}
+			match := true
+			for _, want := range wanted {
+				found := false
+				for _, l := range s.Labels {
+					if l == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value
+			}
+		}
+	}
+	return 0
+}
+
+func mustNewKey() vcrypto.Key {
+	k, err := vcrypto.NewKey()
+	if err != nil {
+		panic(err)
+	}
+	return k
 }
 
 // printMetricsBreakdown renders the per-mechanism cost split accumulated in

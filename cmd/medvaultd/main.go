@@ -11,14 +11,24 @@
 // GET /metrics exposes Prometheus-format counters and latency histograms
 // for every vault mechanism (core ops, HTTP routes, WAL fsync, blockstore
 // I/O, crypto, index, audit). See internal/httpapi for the route list.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// are drained (bounded by a timeout), then the vault is closed so the WAL
+// is checkpointed and the final metadata snapshot is written.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"medvault/internal/httpapi"
 	"medvault/internal/vaultcfg"
@@ -51,16 +61,59 @@ func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
 	if err != nil {
 		return err
 	}
-	v, err := vaultcfg.Open(dir, name, master)
+	// Bind before opening the vault so a bad address fails fast without
+	// churning the vault's recovery path.
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	defer v.Close()
-	handler := httpapi.New(v)
-	if tlsCert != "" {
-		log.Printf("medvaultd: serving vault %s (%d records) on %s (TLS)", dir, v.Len(), addr)
-		return http.ListenAndServeTLS(addr, tlsCert, tlsKey, handler)
+	v, err := vaultcfg.Open(dir, name, master)
+	if err != nil {
+		ln.Close()
+		return err
 	}
-	log.Printf("medvaultd: serving vault %s (%d records) on %s (PLAINTEXT transport — use -tls-cert/-tls-key in production)", dir, v.Len(), addr)
-	return http.ListenAndServe(addr, handler)
+	defer v.Close()
+
+	// Slowloris-resistant timeouts: a client that trickles headers or never
+	// reads its response cannot pin a connection (and its vault resources)
+	// forever. Export streams are the largest responses; WriteTimeout is
+	// sized for them.
+	srv := &http.Server{
+		Handler:           httpapi.New(v),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		if tlsCert != "" {
+			log.Printf("medvaultd: serving vault %s (%d records) on %s (TLS)", dir, v.Len(), addr)
+			errc <- srv.ServeTLS(ln, tlsCert, tlsKey)
+			return
+		}
+		log.Printf("medvaultd: serving vault %s (%d records) on %s (PLAINTEXT transport — use -tls-cert/-tls-key in production)", dir, v.Len(), addr)
+		errc <- srv.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal behavior: a second signal kills hard
+		log.Printf("medvaultd: signal received, draining requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		log.Printf("medvaultd: drained; closing vault")
+		return nil // deferred v.Close checkpoints the WAL and snapshots
+	}
 }

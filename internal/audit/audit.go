@@ -213,10 +213,32 @@ func (l *Log) checkLink(e Event) error {
 // Timestamp, Seq, PrevHash, Hash, and MAC are assigned by the log; caller
 // fields in those positions are ignored.
 func (l *Log) Append(e Event) (Event, error) {
-	start := time.Now()
-	defer metAppendSeconds.ObserveSince(start)
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.appendLocked(e)
+}
+
+// AppendAll records the events consecutively under one lock acquisition:
+// they occupy adjacent sequence numbers with nothing interleaved. Callers
+// whose review logic pairs events by adjacency (an access decision and its
+// break-glass flag) must use this instead of consecutive Appends, which
+// concurrent operations can interleave. It returns the last event appended.
+func (l *Log) AppendAll(events []Event) (Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var last Event
+	for _, e := range events {
+		var err error
+		if last, err = l.appendLocked(e); err != nil {
+			return Event{}, err
+		}
+	}
+	return last, nil
+}
+
+func (l *Log) appendLocked(e Event) (Event, error) {
+	start := time.Now()
+	defer metAppendSeconds.ObserveSince(start)
 	e.Seq = uint64(len(l.events))
 	e.Timestamp = l.now().UTC()
 	e.PrevHash = l.lastHash

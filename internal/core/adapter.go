@@ -121,13 +121,14 @@ func (a *Adapter) TamperRecord(id string, mutate func([]byte) []byte) error {
 	if !ok {
 		return fmt.Errorf("core: TamperRecord requires a memory-backed vault")
 	}
-	a.v.mu.RLock()
+	mu := a.v.stripes.forRecord(id)
+	mu.RLock()
 	st, err := a.v.stateFor(id)
 	var ref blockstore.Ref
 	if err == nil {
 		ref = st.versions[len(st.versions)-1].Ref
 	}
-	a.v.mu.RUnlock()
+	mu.RUnlock()
 	if err != nil {
 		return mapErr(err)
 	}
@@ -138,9 +139,10 @@ func (a *Adapter) TamperRecord(id string, mutate func([]byte) []byte) error {
 // hide the latest correction (truncating the version list). VerifyAll must
 // catch it via the commitment-log size check.
 func (a *Adapter) RollbackMetadata(id string) error {
-	a.v.mu.Lock()
-	defer a.v.mu.Unlock()
-	st, ok := a.v.records[id]
+	mu := a.v.stripes.forRecord(id)
+	mu.Lock()
+	defer mu.Unlock()
+	st, ok := a.v.lookup(id)
 	if !ok || len(st.versions) < 2 {
 		return fmt.Errorf("%w: %s has no correction to hide", stores.ErrNotFound, id)
 	}

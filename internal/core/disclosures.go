@@ -29,6 +29,10 @@ type Disclosure struct {
 //
 // The query requires audit permission and is itself audited.
 func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error) {
+	if err := v.gate.begin(); err != nil {
+		return nil, err
+	}
+	defer v.gate.end()
 	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
 		return nil, err
 	}
@@ -36,15 +40,16 @@ func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error)
 		return nil, fmt.Errorf("core: empty MRN")
 	}
 	// Collect the patient's record IDs (shredded ones included: the access
-	// history of a destroyed record is still disclosable).
-	v.mu.RLock()
+	// history of a destroyed record is still disclosable). The MRN is
+	// immutable after creation, so the registry lock alone suffices.
+	v.regMu.RLock()
 	recordSet := make(map[string]bool)
 	for id, st := range v.records {
 		if st.mrn == mrn {
 			recordSet[id] = true
 		}
 	}
-	v.mu.RUnlock()
+	v.regMu.RUnlock()
 	if len(recordSet) == 0 {
 		return nil, fmt.Errorf("%w: no records for MRN %s", ErrNotFound, mrn)
 	}
@@ -91,18 +96,18 @@ func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error)
 // (HIPAA right of access, the paper's "individuals have the right to
 // request correction" precondition).
 func (v *Vault) PatientRecords(actor, mrn string) ([]string, error) {
-	v.mu.RLock()
+	v.regMu.RLock()
 	type cand struct {
 		id  string
 		cat string
 	}
 	var cands []cand
 	for id, st := range v.records {
-		if st.mrn == mrn && !st.shredded {
+		if st.mrn == mrn && !st.shredded.Load() {
 			cands = append(cands, cand{id, string(st.category)})
 		}
 	}
-	v.mu.RUnlock()
+	v.regMu.RUnlock()
 	var out []string
 	for _, c := range cands {
 		if v.auth.Check(actor, authz.ActRead, c.cat).Allowed {

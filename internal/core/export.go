@@ -31,23 +31,18 @@ type ExportBundle struct {
 // export is audited; migration bookkeeping (custody events, manifest
 // signatures) is the migrate package's job.
 func (v *Vault) Export(actor, id string) (ExportBundle, error) {
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return ExportBundle{}, err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
+	defer mu.RUnlock()
 	st, err := v.stateFor(id)
-	var category string
-	if err == nil {
-		category = string(st.category)
-	}
-	v.mu.RUnlock()
 	if err != nil {
 		return ExportBundle{}, err
 	}
-	if err := v.authorize(actor, authz.ActMigrate, audit.ActionMigrateOut, id, 0, category); err != nil {
-		return ExportBundle{}, err
-	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	st, err = v.stateFor(id)
-	if err != nil {
+	if err := v.authorize(actor, authz.ActMigrate, audit.ActionMigrateOut, id, 0, string(st.category)); err != nil {
 		return ExportBundle{}, err
 	}
 	bundle := ExportBundle{ID: id, Category: st.category}
@@ -95,16 +90,18 @@ func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string,
 	if len(bundle.Versions) == 0 {
 		return fmt.Errorf("core: bundle for %s has no versions", bundle.ID)
 	}
+	if err := v.gate.begin(); err != nil {
+		return err
+	}
+	defer v.gate.end()
 	if err := v.authorize(actor, authz.ActMigrate, auditAction, bundle.ID, 0, string(bundle.Category)); err != nil {
 		return err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return ErrClosed
-	}
-	if st, ok := v.records[bundle.ID]; ok {
-		if st.shredded {
+	mu := v.stripes.forRecord(bundle.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := v.lookup(bundle.ID); ok {
+		if st.shredded.Load() {
 			return fmt.Errorf("%w: %s", ErrShredded, bundle.ID)
 		}
 		return fmt.Errorf("%w: %s", ErrExists, bundle.ID)
@@ -148,7 +145,9 @@ func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string,
 		}
 		st.versions = append(st.versions, ver)
 	}
+	v.regMu.Lock()
 	v.records[bundle.ID] = st
+	v.regMu.Unlock()
 
 	// Adopt the source's custody chain, then extend it with the arrival.
 	if err := v.prov.Adopt(bundle.Custody); err != nil {
@@ -164,33 +163,33 @@ func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string,
 // RecordBackedUp extends custody chains with backed-up events after a
 // successful archive write; called by the backup package.
 func (v *Vault) RecordBackedUp(actor, id, destination string) error {
-	v.mu.RLock()
-	st, err := v.stateFor(id)
-	var ctHash [32]byte
-	if err == nil {
-		ctHash = st.versions[len(st.versions)-1].CtHash
-	}
-	v.mu.RUnlock()
-	if err != nil {
-		return err
-	}
-	_, err = v.prov.Record(id, provenance.EventBackedUp, actor, ctHash, destination)
-	return err
+	return v.recordCustody(id, provenance.EventBackedUp, actor, destination)
 }
 
 // RecordMigratedOut extends the custody chain with a migrated-out event
 // after a successful transfer; called by the migrate package.
 func (v *Vault) RecordMigratedOut(actor, id, targetSystem string) error {
-	v.mu.RLock()
+	return v.recordCustody(id, provenance.EventMigratedOut, actor, targetSystem)
+}
+
+// recordCustody extends the record's custody chain with an event carrying
+// the latest version's ciphertext hash.
+func (v *Vault) recordCustody(id string, typ provenance.EventType, actor, peer string) error {
+	if err := v.gate.begin(); err != nil {
+		return err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
 	st, err := v.stateFor(id)
 	var ctHash [32]byte
 	if err == nil {
 		ctHash = st.versions[len(st.versions)-1].CtHash
 	}
-	v.mu.RUnlock()
+	mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	_, err = v.prov.Record(id, provenance.EventMigratedOut, actor, ctHash, targetSystem)
+	_, err = v.prov.Record(id, typ, actor, ctHash, peer)
 	return err
 }

@@ -195,7 +195,7 @@ func (v *Vault) replayVersion(id string, category ehr.Category, mrn string, ver 
 		return fmt.Errorf("core: WAL replays version %d of unknown record %s", ver.Number, id)
 	}
 	ver.LeafIndex = v.log.Append(leafData(id, ver.Number, ver.CtHash))
-	v.leafSeq++
+	v.leafSeq.Add(1)
 	st.versions = append(st.versions, ver)
 
 	// Rebuild the index posting from the (decryptable) latest version.
@@ -224,13 +224,13 @@ func (v *Vault) replayShred(id string) error {
 	if st == nil {
 		return fmt.Errorf("core: WAL shreds unknown record %s", id)
 	}
-	if !st.shredded {
+	if !st.shredded.Load() {
 		if err := v.keys.Shred(id); err != nil {
 			return fmt.Errorf("core: replaying shred of %s: %w", id, err)
 		}
 		v.idx.Remove(id)
 		v.ret.Forget(id)
-		st.shredded = true
+		st.shredded.Store(true)
 	}
 	return nil
 }
@@ -249,11 +249,14 @@ const (
 	snapVersion = 3
 )
 
+// writeSnapshotLocked serializes vault metadata to disk; the caller holds
+// the op gate exclusively (Close, SanitizeMedia), so no operation is
+// mutating any record while the snapshot walks the registry.
 func (v *Vault) writeSnapshotLocked() error {
 	var buf bytes.Buffer
 	buf.WriteString(snapMagic)
 	writeU16(&buf, snapVersion)
-	writeU64(&buf, v.leafSeq)
+	writeU64(&buf, v.leafSeq.Load())
 	ids := make([]string, 0, len(v.records))
 	for id := range v.records {
 		ids = append(ids, id)
@@ -266,7 +269,7 @@ func (v *Vault) writeSnapshotLocked() error {
 		writeStr(&buf, string(st.category))
 		writeStr(&buf, st.mrn)
 		var flags byte
-		if st.shredded {
+		if st.shredded.Load() {
 			flags |= 1
 		}
 		if st.sanitized {
@@ -327,9 +330,11 @@ func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
 	if ver, err := readU16(r); err != nil || ver != snapVersion {
 		return fmt.Errorf("core: unsupported snapshot version")
 	}
-	if v.leafSeq, err = readU64(r); err != nil {
+	leafSeq, err := readU64(r)
+	if err != nil {
 		return fmt.Errorf("core: truncated snapshot: %w", err)
 	}
+	v.leafSeq.Store(leafSeq)
 	nRecords, err := readU32(r)
 	if err != nil {
 		return fmt.Errorf("core: truncated snapshot: %w", err)
@@ -363,9 +368,9 @@ func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
 			category:  ehr.Category(category),
 			mrn:       mrn,
 			created:   time.Unix(0, int64(createdNano)).UTC(),
-			shredded:  flags&1 != 0,
 			sanitized: flags&2 != 0,
 		}
+		st.shredded.Store(flags&1 != 0)
 		for j := uint32(0); j < nVersions; j++ {
 			var ver Version
 			if ver.Author, err = readStr(r); err != nil {
@@ -394,7 +399,7 @@ func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
 			st.versions = append(st.versions, ver)
 		}
 		v.records[id] = st
-		if !st.shredded {
+		if !st.shredded.Load() {
 			if err := v.ret.Track(id, category, st.created); err != nil {
 				return fmt.Errorf("core: restoring retention for %s: %w", id, err)
 			}

@@ -13,72 +13,86 @@ import (
 	"medvault/internal/vcrypto"
 )
 
-// checkOpen fails fast on a closed vault, before any side effect.
-func (v *Vault) checkOpen() error {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	if v.closed {
-		return ErrClosed
-	}
-	return nil
-}
-
 // authorize runs the access check and writes the decision — allowed or
 // denied — to the audit log. It returns ErrDenied (already audited) when the
 // actor lacks permission. Break-glass elevations are additionally flagged
 // with their own audit event, so emergency access is always reviewable.
+// The caller holds the op gate (shared or exclusive).
 func (v *Vault) authorize(actor string, act authz.Action, auditAction audit.Action, recordID string, version uint64, category string) error {
-	if err := v.checkOpen(); err != nil {
-		return err
-	}
 	d := v.auth.Check(actor, act, category)
 	outcome := audit.OutcomeAllowed
 	if !d.Allowed {
 		outcome = audit.OutcomeDenied
 	}
-	if _, err := v.aud.Append(audit.Event{
+	events := []audit.Event{{
 		Actor:   actor,
 		Action:  auditAction,
 		Record:  recordID,
 		Version: version,
 		Outcome: outcome,
 		Detail:  d.Reason,
-	}); err != nil {
-		return err
-	}
-	if !d.Allowed {
-		return fmt.Errorf("%w: %s %s on %q: %s", ErrDenied, actor, act, recordID, d.Reason)
-	}
-	if d.BreakGlass {
-		if _, err := v.aud.Append(audit.Event{
+	}}
+	if d.Allowed && d.BreakGlass {
+		// The decision and its break-glass flag are appended atomically:
+		// AccountingOfDisclosures pairs them by adjacent sequence numbers,
+		// which concurrent appenders must not be able to interleave.
+		events = append(events, audit.Event{
 			Actor:   actor,
 			Action:  audit.ActionBreakGlass,
 			Record:  recordID,
 			Version: version,
 			Outcome: audit.OutcomeAllowed,
 			Detail:  d.Reason,
-		}); err != nil {
-			return err
-		}
+		})
+	}
+	if _, err := v.aud.AppendAll(events); err != nil {
+		return err
+	}
+	if !d.Allowed {
+		return fmt.Errorf("%w: %s %s on %q: %s", ErrDenied, actor, act, recordID, d.Reason)
 	}
 	return nil
 }
 
+// lookup fetches the record state from the registry, which may be shredded.
+func (v *Vault) lookup(id string) (*recordState, bool) {
+	v.regMu.RLock()
+	st, ok := v.records[id]
+	v.regMu.RUnlock()
+	return st, ok
+}
+
 // stateFor returns the record state, distinguishing missing from shredded.
 func (v *Vault) stateFor(id string) (*recordState, error) {
-	st, ok := v.records[id]
+	st, ok := v.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	if st.shredded {
+	if st.shredded.Load() {
 		return nil, fmt.Errorf("%w: %s", ErrShredded, id)
 	}
 	return st, nil
 }
 
+// auditProbe records a failed lookup: unknown-record or unknown-version
+// probing is signal, so the attempt is written even though nothing else is.
+func (v *Vault) auditProbe(actor string, action audit.Action, id string, version uint64, err error) {
+	_, _ = v.aud.Append(audit.Event{
+		Actor: actor, Action: action, Record: id, Version: version,
+		Outcome: audit.OutcomeError, Detail: err.Error(),
+	})
+}
+
 // appendVersion seals rec under the record's DEK, stores the ciphertext,
-// WAL-logs the metadata, commits to the Merkle log, and re-indexes.
-// Caller holds v.mu and has created the DEK for version 1.
+// WAL-logs the metadata, commits to the Merkle log, and re-indexes. The
+// caller holds the record's stripe exclusively (or the gate exclusively).
+//
+// The expensive work — AES-GCM seal, blockstore append, fsync wait — runs
+// outside the commit sequencer; commitMu covers only the WAL enqueue and the
+// Merkle append, both in-memory. That pairing is a hard invariant: recovery
+// replays WAL entries in sequence order and reassigns leaf indexes as it
+// goes, so the WAL's entry order must equal the commitment log's leaf order
+// or every inclusion proof breaks after a restart.
 func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek vcrypto.Key, wrappedDEK []byte) (Version, error) {
 	ct, err := vcrypto.Seal(dek, ehr.Encode(rec), sealAAD(rec.ID, number))
 	if err != nil {
@@ -95,13 +109,22 @@ func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek 
 		Ref:       ref,
 		CtHash:    vcrypto.Hash(ct),
 	}
+	var wait func() error
+	v.commitMu.Lock()
 	if v.metaWAL != nil {
-		if _, err := v.metaWAL.Append(encodeVersionEntry(rec.ID, rec.Category, rec.MRN, ver, rec.CreatedAt, wrappedDEK)); err != nil {
+		_, wait = v.metaWAL.Enqueue(encodeVersionEntry(rec.ID, rec.Category, rec.MRN, ver, rec.CreatedAt, wrappedDEK))
+	}
+	ver.LeafIndex = v.log.Append(leafData(rec.ID, number, ver.CtHash))
+	v.leafSeq.Add(1)
+	v.commitMu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			// The Merkle leaf is already committed but the intent is not
+			// durable: the WAL has wedged and the vault is loudly broken —
+			// every subsequent durable mutation fails with the same error.
 			return Version{}, fmt.Errorf("core: logging %s v%d: %w", rec.ID, number, err)
 		}
 	}
-	ver.LeafIndex = v.log.Append(leafData(rec.ID, number, ver.CtHash))
-	v.leafSeq++
 	v.idx.Add(rec.ID, rec.SearchText())
 	return ver, nil
 }
@@ -114,16 +137,18 @@ func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
 	}
+	if err := v.gate.begin(); err != nil {
+		return Version{}, err
+	}
+	defer v.gate.end()
 	if err := v.authorize(actor, authz.ActWrite, audit.ActionCreate, rec.ID, 1, string(rec.Category)); err != nil {
 		return Version{}, err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return Version{}, ErrClosed
-	}
-	if st, ok := v.records[rec.ID]; ok {
-		if st.shredded {
+	mu := v.stripes.forRecord(rec.ID)
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := v.lookup(rec.ID); ok {
+		if st.shredded.Load() {
 			return Version{}, fmt.Errorf("%w: %s (IDs are never reused)", ErrShredded, rec.ID)
 		}
 		return Version{}, fmt.Errorf("%w: %s", ErrExists, rec.ID)
@@ -146,12 +171,15 @@ func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
 		v.ret.Forget(rec.ID)
 		return Version{}, err
 	}
-	v.records[rec.ID] = &recordState{
+	st := &recordState{
 		category: rec.Category,
 		mrn:      rec.MRN,
 		created:  rec.CreatedAt.UTC(),
 		versions: []Version{ver},
 	}
+	v.regMu.Lock()
+	v.records[rec.ID] = st
+	v.regMu.Unlock()
 	metLiveRecords.Add(1)
 	// The version is committed (stored, WAL-logged, Merkle-committed,
 	// indexed) and visible; from here the Put has happened. A custody-chain
@@ -164,8 +192,8 @@ func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
 	return ver, nil
 }
 
-// readVersion reads and verifies one version's content. Caller holds
-// at least v.mu.RLock.
+// readVersion reads and verifies one version's content. Caller holds at
+// least the record's stripe read lock.
 func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
 	ct, err := v.blocks.Read(ver.Ref)
 	if err != nil {
@@ -189,31 +217,26 @@ func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
 }
 
 // Get returns the latest version of the record. The read — allowed or
-// denied — is audited.
+// denied — is audited. Get holds only the record's stripe read lock, so
+// reads of distinct records (and of the same record) run in parallel.
 func (v *Vault) Get(actor, id string) (_ ehr.Record, _ Version, err error) {
 	defer observeOp("get", time.Now())(&err)
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return ehr.Record{}, Version{}, err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
+	defer mu.RUnlock()
 	st, err := v.stateFor(id)
-	var category string
-	var latest Version
-	if err == nil {
-		category = string(st.category)
-		latest = st.versions[len(st.versions)-1]
-	}
-	v.mu.RUnlock()
 	if err != nil {
-		// Audit the failed attempt too; unknown-record probing is signal.
-		_, _ = v.aud.Append(audit.Event{
-			Actor: actor, Action: audit.ActionRead, Record: id,
-			Outcome: audit.OutcomeError, Detail: err.Error(),
-		})
+		v.auditProbe(actor, audit.ActionRead, id, 0, err)
 		return ehr.Record{}, Version{}, err
 	}
-	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, latest.Number, category); err != nil {
+	latest := st.versions[len(st.versions)-1]
+	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, latest.Number, string(st.category)); err != nil {
 		return ehr.Record{}, Version{}, err
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	rec, err := v.readVersion(id, latest)
 	return rec, latest, err
 }
@@ -221,33 +244,25 @@ func (v *Vault) Get(actor, id string) (_ ehr.Record, _ Version, err error) {
 // GetVersion returns a specific historical version (1-based).
 func (v *Vault) GetVersion(actor, id string, number uint64) (_ ehr.Record, _ Version, err error) {
 	defer observeOp("get_version", time.Now())(&err)
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return ehr.Record{}, Version{}, err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
+	defer mu.RUnlock()
 	st, err := v.stateFor(id)
-	var category string
-	var target Version
-	if err == nil {
-		category = string(st.category)
-		if number == 0 || number > uint64(len(st.versions)) {
-			err = fmt.Errorf("%w: %s has no version %d", ErrNotFound, id, number)
-		} else {
-			target = st.versions[number-1]
-		}
+	if err == nil && (number == 0 || number > uint64(len(st.versions))) {
+		err = fmt.Errorf("%w: %s has no version %d", ErrNotFound, id, number)
 	}
-	v.mu.RUnlock()
 	if err != nil {
-		// Audit the failed attempt too, exactly as Get does: probing for
-		// unknown records or versions is signal.
-		_, _ = v.aud.Append(audit.Event{
-			Actor: actor, Action: audit.ActionRead, Record: id, Version: number,
-			Outcome: audit.OutcomeError, Detail: err.Error(),
-		})
+		v.auditProbe(actor, audit.ActionRead, id, number, err)
 		return ehr.Record{}, Version{}, err
 	}
-	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, number, category); err != nil {
+	target := st.versions[number-1]
+	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, number, string(st.category)); err != nil {
 		return ehr.Record{}, Version{}, err
 	}
-	v.mu.RLock()
-	defer v.mu.RUnlock()
 	rec, err := v.readVersion(id, target)
 	return rec, target, err
 }
@@ -256,27 +271,22 @@ func (v *Vault) GetVersion(actor, id string, number uint64) (_ ehr.Record, _ Ver
 // not decrypt content, but still requires (and audits) read permission.
 func (v *Vault) History(actor, id string) (_ []Version, err error) {
 	defer observeOp("history", time.Now())(&err)
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return nil, err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
+	defer mu.RUnlock()
 	st, err := v.stateFor(id)
-	var category string
-	var versions []Version
-	if err == nil {
-		category = string(st.category)
-		versions = append(versions, st.versions...)
-	}
-	v.mu.RUnlock()
 	if err != nil {
-		// Unknown-record probing is signal here too; see Get.
-		_, _ = v.aud.Append(audit.Event{
-			Actor: actor, Action: audit.ActionRead, Record: id,
-			Outcome: audit.OutcomeError, Detail: err.Error(),
-		})
+		v.auditProbe(actor, audit.ActionRead, id, 0, err)
 		return nil, err
 	}
-	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, 0, category); err != nil {
+	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, 0, string(st.category)); err != nil {
 		return nil, err
 	}
-	return versions, nil
+	return append([]Version(nil), st.versions...), nil
 }
 
 // Correct appends an amended version of the record. History is preserved:
@@ -288,26 +298,18 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
 	}
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return Version{}, err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(rec.ID)
+	mu.Lock()
+	defer mu.Unlock()
 	st, err := v.stateFor(rec.ID)
-	var category string
-	if err == nil {
-		category = string(st.category)
-	}
-	v.mu.RUnlock()
 	if err != nil {
 		return Version{}, err
 	}
-	if err := v.authorize(actor, authz.ActCorrect, audit.ActionCorrect, rec.ID, 0, category); err != nil {
-		return Version{}, err
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return Version{}, ErrClosed
-	}
-	st, err = v.stateFor(rec.ID)
-	if err != nil {
+	if err := v.authorize(actor, authz.ActCorrect, audit.ActionCorrect, rec.ID, 0, string(st.category)); err != nil {
 		return Version{}, err
 	}
 	if rec.Category != st.category {
@@ -331,16 +333,10 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
 	return ver, nil
 }
 
-// Search returns the IDs of records matching keyword that the actor is
-// allowed to read — results outside the actor's categories are filtered,
-// enforcing minimum-necessary even through search.
-func (v *Vault) Search(actor, keyword string) (_ []string, err error) {
-	defer observeOp("search", time.Now())(&err)
-	if err := v.checkOpen(); err != nil {
-		return nil, err
-	}
-	// The actor may search if any of their roles permits ActSearch on any
-	// category; per-result visibility is then filtered by read permission.
+// searchAuthorized checks and audits search permission: the actor may search
+// if any of their roles permits ActSearch on any category. The caller holds
+// the op gate.
+func (v *Vault) searchAuthorized(actor string) error {
 	allowed := v.auth.Check(actor, authz.ActSearch, "").Allowed
 	for _, cat := range ehr.Categories() {
 		if allowed {
@@ -357,26 +353,56 @@ func (v *Vault) Search(actor, keyword string) (_ []string, err error) {
 	if _, err := v.aud.Append(audit.Event{
 		Actor: actor, Action: audit.ActionSearch, Outcome: outcome,
 	}); err != nil {
-		return nil, err
+		return err
 	}
 	if !allowed {
-		return nil, fmt.Errorf("%w: %s may not search", ErrDenied, actor)
+		return fmt.Errorf("%w: %s may not search", ErrDenied, actor)
 	}
-	hits := v.idx.Search(keyword)
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	var out []string
+	return nil
+}
+
+// filterSearchHits keeps the hits that are live and readable by the actor —
+// per-result visibility enforces minimum-necessary even through search. It
+// takes no stripe locks: liveness comes from the atomic shredded flag, and
+// the category is immutable, so concurrent writers cannot corrupt the scan.
+func (v *Vault) filterSearchHits(actor string, hits []string) []string {
+	type cand struct {
+		id  string
+		cat string
+	}
+	cands := make([]cand, 0, len(hits))
+	v.regMu.RLock()
 	for _, id := range hits {
 		st, ok := v.records[id]
-		if !ok || st.shredded {
+		if !ok || st.shredded.Load() {
 			continue
 		}
-		if v.auth.Check(actor, authz.ActRead, string(st.category)).Allowed {
-			out = append(out, id)
+		cands = append(cands, cand{id, string(st.category)})
+	}
+	v.regMu.RUnlock()
+	var out []string
+	for _, c := range cands {
+		if v.auth.Check(actor, authz.ActRead, c.cat).Allowed {
+			out = append(out, c.id)
 		}
 	}
 	sort.Strings(out)
-	return out, nil
+	return out
+}
+
+// Search returns the IDs of records matching keyword that the actor is
+// allowed to read — results outside the actor's categories are filtered,
+// enforcing minimum-necessary even through search.
+func (v *Vault) Search(actor, keyword string) (_ []string, err error) {
+	defer observeOp("search", time.Now())(&err)
+	if err := v.gate.begin(); err != nil {
+		return nil, err
+	}
+	defer v.gate.end()
+	if err := v.searchAuthorized(actor); err != nil {
+		return nil, err
+	}
+	return v.filterSearchHits(actor, v.idx.Search(keyword)), nil
 }
 
 // SearchAll returns the IDs of readable records containing every keyword
@@ -384,43 +410,14 @@ func (v *Vault) Search(actor, keyword string) (_ []string, err error) {
 // as Search.
 func (v *Vault) SearchAll(actor string, keywords ...string) (_ []string, err error) {
 	defer observeOp("search", time.Now())(&err)
-	if err := v.checkOpen(); err != nil {
+	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
-	allowed := v.auth.Check(actor, authz.ActSearch, "").Allowed
-	for _, cat := range ehr.Categories() {
-		if allowed {
-			break
-		}
-		allowed = v.auth.Check(actor, authz.ActSearch, string(cat)).Allowed
-	}
-	outcome := audit.OutcomeAllowed
-	if !allowed {
-		outcome = audit.OutcomeDenied
-	}
-	if _, err := v.aud.Append(audit.Event{
-		Actor: actor, Action: audit.ActionSearch, Outcome: outcome,
-	}); err != nil {
+	defer v.gate.end()
+	if err := v.searchAuthorized(actor); err != nil {
 		return nil, err
 	}
-	if !allowed {
-		return nil, fmt.Errorf("%w: %s may not search", ErrDenied, actor)
-	}
-	hits := v.idx.SearchAll(keywords...)
-	v.mu.RLock()
-	defer v.mu.RUnlock()
-	var out []string
-	for _, id := range hits {
-		st, ok := v.records[id]
-		if !ok || st.shredded {
-			continue
-		}
-		if v.auth.Check(actor, authz.ActRead, string(st.category)).Allowed {
-			out = append(out, id)
-		}
-	}
-	sort.Strings(out)
-	return out, nil
+	return v.filterSearchHits(actor, v.idx.SearchAll(keywords...)), nil
 }
 
 // Shred securely deletes the record: its data key is destroyed, its index
@@ -431,26 +428,18 @@ func (v *Vault) SearchAll(actor string, keywords ...string) (_ []string, err err
 // preserved, as disposition accountability requires.
 func (v *Vault) Shred(actor, id string) (err error) {
 	defer observeOp("shred", time.Now())(&err)
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.Lock()
+	defer mu.Unlock()
 	st, err := v.stateFor(id)
-	var category string
-	if err == nil {
-		category = string(st.category)
-	}
-	v.mu.RUnlock()
 	if err != nil {
 		return err
 	}
-	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, id, 0, category); err != nil {
-		return err
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return ErrClosed
-	}
-	st, err = v.stateFor(id)
-	if err != nil {
+	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, id, 0, string(st.category)); err != nil {
 		return err
 	}
 	if err := v.ret.CanDispose(id); err != nil {
@@ -461,6 +450,9 @@ func (v *Vault) Shred(actor, id string) (err error) {
 		return err
 	}
 	if v.metaWAL != nil {
+		// The stripe orders this entry after the record's version entries,
+		// which is all replay requires; no Merkle leaf is involved, so the
+		// commit sequencer is not.
 		if _, err := v.metaWAL.Append(encodeShredEntry(id)); err != nil {
 			return fmt.Errorf("core: logging shred of %s: %w", id, err)
 		}
@@ -470,7 +462,7 @@ func (v *Vault) Shred(actor, id string) (err error) {
 	}
 	v.idx.Remove(id)
 	v.ret.Forget(id)
-	st.shredded = true
+	st.shredded.Store(true)
 	metLiveRecords.Add(-1)
 	// The key is destroyed and the shred is WAL-logged — it has happened;
 	// a custody failure here is the same post-commit warning as in Put.
@@ -488,19 +480,18 @@ func (v *Vault) PlaceHold(actor, id, reason string) error {
 	if reason == "" {
 		return fmt.Errorf("core: a legal hold requires a reason")
 	}
-	v.mu.RLock()
-	_, err := v.stateFor(id)
-	v.mu.RUnlock()
-	if err != nil {
+	if err := v.gate.begin(); err != nil {
+		return err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := v.stateFor(id); err != nil {
 		return err
 	}
 	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
 		return err
-	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return ErrClosed
 	}
 	placed := v.now()
 	if v.metaWAL != nil {
@@ -520,13 +511,15 @@ func (v *Vault) PlaceHold(actor, id, reason string) error {
 
 // ReleaseHold lifts a legal hold; the release is WAL-logged and audited.
 func (v *Vault) ReleaseHold(actor, id string) error {
-	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
+	if err := v.gate.begin(); err != nil {
 		return err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return ErrClosed
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.Lock()
+	defer mu.Unlock()
+	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
+		return err
 	}
 	if v.metaWAL != nil {
 		if _, err := v.metaWAL.Append(encodeReleaseEntry(id)); err != nil {
@@ -544,6 +537,10 @@ func (v *Vault) ReleaseHold(actor, id string) error {
 // BreakGlass grants the actor time-boxed emergency access and records the
 // grant in the audit trail.
 func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
+	if err := v.gate.begin(); err != nil {
+		return err
+	}
+	defer v.gate.end()
 	g, err := v.auth.BreakGlass(actor, reason, duration)
 	if err != nil {
 		return err
@@ -560,6 +557,10 @@ func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
 // AuditEvents returns audit events matching q; the query itself requires
 // (and is recorded with) audit permission.
 func (v *Vault) AuditEvents(actor string, q audit.Query) ([]audit.Event, error) {
+	if err := v.gate.begin(); err != nil {
+		return nil, err
+	}
+	defer v.gate.end()
 	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
 		return nil, err
 	}
@@ -568,6 +569,10 @@ func (v *Vault) AuditEvents(actor string, q audit.Query) ([]audit.Event, error) 
 
 // Provenance returns the record's custody chain; requires audit permission.
 func (v *Vault) Provenance(actor, id string) ([]provenance.Event, error) {
+	if err := v.gate.begin(); err != nil {
+		return nil, err
+	}
+	defer v.gate.end()
 	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, id, 0, ""); err != nil {
 		return nil, err
 	}
@@ -582,8 +587,9 @@ func (v *Vault) AuditCheckpoint() audit.Checkpoint { return v.aud.Checkpoint() }
 // record content; the backup package uses it to decide incremental
 // inclusion without exporting plaintext.
 func (v *Vault) VersionCount(id string) (int, error) {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
+	defer mu.RUnlock()
 	st, err := v.stateFor(id)
 	if err != nil {
 		return 0, err
@@ -593,14 +599,14 @@ func (v *Vault) VersionCount(id string) (int, error) {
 
 // RecordIDs returns the IDs of live records, sorted.
 func (v *Vault) RecordIDs() []string {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
+	v.regMu.RLock()
 	var out []string
 	for id, st := range v.records {
-		if !st.shredded {
+		if !st.shredded.Load() {
 			out = append(out, id)
 		}
 	}
+	v.regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }

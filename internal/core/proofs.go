@@ -32,7 +32,12 @@ type VersionProof struct {
 // It requires (and audits) read permission: the proof reveals the record's
 // existence and write history even though it reveals no content.
 func (v *Vault) ProveVersion(actor, id string, number uint64) (VersionProof, error) {
-	v.mu.RLock()
+	if err := v.gate.begin(); err != nil {
+		return VersionProof{}, err
+	}
+	defer v.gate.end()
+	mu := v.stripes.forRecord(id)
+	mu.RLock()
 	st, err := v.stateFor(id)
 	var category string
 	var target Version
@@ -44,7 +49,7 @@ func (v *Vault) ProveVersion(actor, id string, number uint64) (VersionProof, err
 			target = st.versions[number-1]
 		}
 	}
-	v.mu.RUnlock()
+	mu.RUnlock()
 	if err != nil {
 		return VersionProof{}, err
 	}

@@ -35,13 +35,15 @@ import (
 // swap is sequenced old→aside, new→live, remove-aside; a crash between the
 // renames leaves a recoverable directory rather than a half-written one.
 func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err error) {
-	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, "", 0, ""); err != nil {
+	// The rewrite swaps the whole block store under every record at once, so
+	// it runs under the exclusive gate: in-flight operations drain first and
+	// none start until the swap is complete.
+	if err := v.gate.beginExclusive(); err != nil {
 		return 0, 0, err
 	}
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return 0, 0, ErrClosed
+	defer v.gate.endExclusive()
+	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, "", 0, ""); err != nil {
+		return 0, 0, err
 	}
 	before := v.blocks.StorageBytes()
 
@@ -65,7 +67,7 @@ func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err e
 
 	for _, id := range sortedRecordIDs(v.records) {
 		st := v.records[id]
-		if st.shredded {
+		if st.shredded.Load() {
 			if !st.sanitized {
 				dropped += len(st.versions)
 				st.sanitized = true

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"medvault/internal/ehr"
 	"medvault/internal/merkle"
@@ -88,6 +89,56 @@ func TestConcurrentMixedOpsDurable(t *testing.T) {
 			}
 		}(r)
 	}
+	// Compliance traffic rides along with the clinical load: legal holds
+	// placed and released (archivist), an emergency break-glass grant with
+	// elevated reads (billing clerk), and record exports (archivist). All of
+	// these race the writers, so ErrNotFound is legitimate; any other failure
+	// is a bug in the lock layering.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perWriter*writers; i++ {
+			id := recID(i%writers, i%perWriter)
+			err := v.PlaceHold("arch-lee", id, "stress-test litigation hold")
+			if errors.Is(err, ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				errc <- fmt.Errorf("hold: PlaceHold %s: %w", id, err)
+				return
+			}
+			if err := v.ReleaseHold("arch-lee", id); err != nil {
+				errc <- fmt.Errorf("hold: ReleaseHold %s: %w", id, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := v.BreakGlass("clerk-bob", "stress-test emergency", time.Hour); err != nil {
+			errc <- fmt.Errorf("break-glass grant: %w", err)
+			return
+		}
+		for i := 0; i < perWriter*writers; i++ {
+			id := recID(i%writers, i%perWriter)
+			if _, _, err := v.Get("clerk-bob", id); err != nil && !errors.Is(err, ErrNotFound) {
+				errc <- fmt.Errorf("break-glass Get %s: %w", id, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perWriter*writers; i++ {
+			id := recID((i+1)%writers, i%perWriter)
+			if _, err := v.Export("arch-lee", id); err != nil && !errors.Is(err, ErrNotFound) {
+				errc <- fmt.Errorf("Export %s: %w", id, err)
+				return
+			}
+		}
+	}()
 	wg.Wait()
 	close(errc)
 	for err := range errc {

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"medvault/internal/audit"
@@ -74,13 +75,17 @@ type Version struct {
 	LeafIndex uint64         // position in the commitment log
 }
 
-// recordState is the in-memory metadata for one record.
+// recordState is the in-memory metadata for one record. Field protection:
+// category, mrn, and created are immutable after the state is published in
+// the registry; versions is guarded by the record's lock stripe; shredded is
+// atomic so registry scans (Search, Len, PatientRecords) can read it without
+// taking the stripe; sanitized only changes under the exclusive gate.
 type recordState struct {
 	category  ehr.Category
 	mrn       string    // patient identifier, for accounting of disclosures
 	created   time.Time // record's own creation date; starts retention
 	versions  []Version
-	shredded  bool
+	shredded  atomic.Bool
 	sanitized bool // shredded AND ciphertext removed from media
 }
 
@@ -104,9 +109,14 @@ type Config struct {
 	AuditCheckpointInterval int
 }
 
-// Vault is the hybrid compliance store.
+// Vault is the hybrid compliance store. Locking follows the discipline
+// documented in locks.go: gate → stripe → commitMu → leaf locks.
 type Vault struct {
-	mu     sync.RWMutex
+	gate     opGate      // open/close lifecycle; ops hold it shared
+	stripes  lockStripes // per-record serialization
+	commitMu sync.Mutex  // sequences {WAL enqueue, Merkle append} pairs
+	regMu    sync.RWMutex // guards the records map itself (a leaf lock)
+
 	name   string
 	clk    clock.Clock
 	signer *vcrypto.Signer
@@ -120,10 +130,9 @@ type Vault struct {
 	ret    *retention.Manager
 
 	records  map[string]*recordState
-	leafSeq  uint64 // total versions committed (== Merkle log size)
+	leafSeq  atomic.Uint64 // total versions committed (== Merkle log size)
 	metaWAL  *wal.Log
 	dir      string
-	closed   bool
 	masterFP string // master key fingerprint, for manifests
 
 	// auditStore and provStore are retained so Close can release their
@@ -231,6 +240,9 @@ func (v *Vault) recover(master vcrypto.Key) error {
 		return fmt.Errorf("core: recovering metadata WAL: %w", err)
 	}
 	v.metaWAL = w
+	// The live-records gauge is process-local; account for what recovery
+	// just rebuilt so /metrics is truthful from the first scrape.
+	metLiveRecords.Add(float64(v.Len()))
 	return nil
 }
 
@@ -252,11 +264,11 @@ func (v *Vault) Head() merkle.SignedTreeHead { return v.log.Head() }
 
 // Len returns the number of live (non-shredded) records.
 func (v *Vault) Len() int {
-	v.mu.RLock()
-	defer v.mu.RUnlock()
+	v.regMu.RLock()
+	defer v.regMu.RUnlock()
 	n := 0
 	for _, st := range v.records {
-		if !st.shredded {
+		if !st.shredded.Load() {
 			n++
 		}
 	}
@@ -271,13 +283,16 @@ func (v *Vault) StorageBytes() int64 {
 
 // Close flushes state and releases resources. For durable vaults it writes
 // a metadata snapshot and checkpoints the WAL, so the next Open is fast.
+//
+// Close first drains: it waits for every in-flight operation to finish (the
+// op gate) before releasing anything, so an operation admitted before Close
+// always completes against an open vault, and an operation arriving after
+// gets ErrClosed — never a half-closed store.
 func (v *Vault) Close() error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
+	if !v.gate.shut() {
 		return nil
 	}
-	v.closed = true
+	defer v.gate.endExclusive()
 	if v.dir != "" {
 		if err := v.writeSnapshotLocked(); err != nil {
 			return err

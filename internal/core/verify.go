@@ -39,10 +39,18 @@ type Report struct {
 //     audit checkpoints must match.
 //
 // The verification itself is written to the audit log.
+//
+// VerifyAll holds the op gate exclusively: the sweep sees a frozen vault —
+// no operation can move the commitment log, the registry, or any version
+// list mid-verification — so the size/leaf accounting it checks can never
+// be a benign in-flight transient.
 func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedCheckpoints []audit.Checkpoint) (_ Report, err error) {
 	defer observeOp("verify_all", time.Now())(&err)
 	var rep Report
-	v.mu.RLock()
+	if err := v.gate.beginExclusive(); err != nil {
+		return rep, err
+	}
+	defer v.gate.endExclusive()
 	ids := make([]string, 0, len(v.records))
 	for id := range v.records {
 		ids = append(ids, id)
@@ -50,8 +58,6 @@ func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedChe
 	sort.Strings(ids)
 	size := v.log.Size()
 	root, rootErr := v.log.Tree().RootAt(size)
-	leafSeq := v.leafSeq
-	v.mu.RUnlock()
 	if rootErr != nil {
 		return rep, rootErr
 	}
@@ -66,25 +72,20 @@ func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedChe
 
 	// (3) every committed version is accounted for.
 	var totalVersions uint64
-	v.mu.RLock()
 	for _, st := range v.records {
 		totalVersions += uint64(len(st.versions))
 	}
-	v.mu.RUnlock()
-	if totalVersions != size || leafSeq != size {
+	if totalVersions != size || v.leafSeq.Load() != size {
 		return fail(fmt.Errorf("%w: metadata lists %d versions but commitment log has %d leaves", ErrTampered, totalVersions, size))
 	}
 
 	// (1)+(2) per-record verification.
 	for _, id := range ids {
-		v.mu.RLock()
 		st := v.records[id]
-		versions := append([]Version(nil), st.versions...)
-		shredded := st.shredded
+		shredded := st.shredded.Load()
 		sanitized := st.sanitized
-		v.mu.RUnlock()
 		rep.RecordsChecked++
-		for _, ver := range versions {
+		for _, ver := range st.versions {
 			// Sanitized records have no bytes left on the medium — by
 			// design. Their commitment leaves still verify below.
 			var ct []byte

@@ -6,6 +6,11 @@
 // would put real authentication in front; the header models the
 // authenticated identity the same way the CLI's -actor flag does.)
 //
+// The handler holds no lock of its own: net/http serves each request on its
+// own goroutine, and the vault's striped locking (DESIGN.md "Concurrency
+// model") lets requests touching different records proceed in parallel —
+// only same-record writes and whole-vault sweeps serialize.
+//
 // Routes:
 //
 //	GET    /healthz                      liveness

@@ -54,7 +54,10 @@ func NewSSE(master vcrypto.Key) *SSE {
 	}
 }
 
-// token maps a normalized keyword to its pseudorandom search token.
+// token maps a normalized keyword to its pseudorandom search token. The
+// token key is immutable, so tokenization needs no lock — callers compute
+// tokens before entering the mutex, keeping the HMAC work (the dominant
+// per-keyword cost) out of the serialized section under concurrency.
 func (s *SSE) token(word string) string {
 	return hex.EncodeToString(vcrypto.MAC(s.tokenKey, []byte(word)))
 }
@@ -62,14 +65,15 @@ func (s *SSE) token(word string) string {
 // Add implements Index.
 func (s *SSE) Add(id, text string) {
 	defer metAddSeconds.ObserveSince(time.Now())
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.removeLocked(id)
 	words := Tokenize(text)
 	toks := make([]string, 0, len(words))
 	for _, w := range words {
-		tok := s.token(w)
-		toks = append(toks, tok)
+		toks = append(toks, s.token(w))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.removeLocked(id)
+	for _, tok := range toks {
 		set, ok := s.postings[tok]
 		if !ok {
 			set = make(map[string]bool)
@@ -83,9 +87,10 @@ func (s *SSE) Add(id, text string) {
 // Search implements Index.
 func (s *SSE) Search(keyword string) []string {
 	defer metSearchSeconds.ObserveSince(time.Now())
+	tok := s.token(NormalizeQuery(keyword))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set := s.postings[s.token(NormalizeQuery(keyword))]
+	set := s.postings[tok]
 	out := make([]string, 0, len(set))
 	for id := range set {
 		out = append(out, id)
@@ -100,11 +105,15 @@ func (s *SSE) Search(keyword string) []string {
 // lexical).
 func (s *SSE) SearchAll(keywords ...string) []string {
 	defer metSearchSeconds.ObserveSince(time.Now())
+	toks := make([]string, 0, len(keywords))
+	for _, kw := range keywords {
+		toks = append(toks, s.token(NormalizeQuery(kw)))
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	sets := make([]map[string]bool, 0, len(keywords))
-	for _, kw := range keywords {
-		set := s.postings[s.token(NormalizeQuery(kw))]
+	sets := make([]map[string]bool, 0, len(toks))
+	for _, tok := range toks {
+		set := s.postings[tok]
 		if len(set) == 0 {
 			return nil
 		}

@@ -327,3 +327,181 @@ func TestCheckpointTempFailureKeepsLogUsable(t *testing.T) {
 		t.Errorf("NextSeq after checkpoint = %d, want 0", l.NextSeq())
 	}
 }
+
+// TestGroupCommitCoalesces enqueues several entries before invoking any wait:
+// the first enqueuer is the batch leader, so all entries must land in one
+// write+fsync cycle. The group-commit counter pins the "one fsync, many
+// entries" claim; the followers' waits return after the leader's flush
+// without doing I/O of their own.
+func TestGroupCommitCoalesces(t *testing.T) {
+	l, path := openTemp(t, nil)
+	before := metGroupCommits.Value()
+
+	const n = 5
+	waits := make([]func() error, 0, n)
+	for i := 0; i < n; i++ {
+		seq, wait := l.Enqueue([]byte(fmt.Sprintf("entry-%d", i)))
+		if seq != uint64(i) {
+			t.Fatalf("Enqueue seq = %d, want %d", seq, i)
+		}
+		waits = append(waits, wait)
+	}
+	// The leader's wait (first enqueued) performs the flush of the whole
+	// batch; the followers then find their entries already durable.
+	for i, wait := range waits {
+		if err := wait(); err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+	}
+	if got := metGroupCommits.Value() - before; got != 1 {
+		t.Errorf("group commits = %d, want 1 (all %d entries in one batch)", got, n)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []Entry
+	l2, err := Open(path, func(e Entry) error { replayed = append(replayed, e); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(replayed) != n {
+		t.Fatalf("replayed %d entries, want %d", len(replayed), n)
+	}
+	for i, e := range replayed {
+		if e.Seq != uint64(i) || string(e.Data) != fmt.Sprintf("entry-%d", i) {
+			t.Errorf("entry %d: seq=%d data=%q", i, e.Seq, e.Data)
+		}
+	}
+}
+
+// TestEnqueueOrderEqualsReplayOrder drives Enqueue the way the vault's commit
+// sequencer does — an external lock held across Enqueue, released before
+// wait — and checks that replay order equals enqueue order. The vault relies
+// on this to keep WAL order identical to Merkle leaf order.
+func TestEnqueueOrderEqualsReplayOrder(t *testing.T) {
+	l, path := openTemp(t, nil)
+
+	const writers, perWriter = 8, 25
+	var (
+		seqMu sync.Mutex
+		order []string // payloads in enqueue order
+		wg    sync.WaitGroup
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				payload := fmt.Sprintf("w%d-%d", w, i)
+				seqMu.Lock()
+				_, wait := l.Enqueue([]byte(payload))
+				order = append(order, payload)
+				seqMu.Unlock()
+				if err := wait(); err != nil {
+					t.Errorf("wait %s: %v", payload, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []string
+	l2, err := Open(path, func(e Entry) error {
+		if e.Seq != uint64(len(replayed)) {
+			return fmt.Errorf("seq %d at position %d", e.Seq, len(replayed))
+		}
+		replayed = append(replayed, string(e.Data))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(replayed) != len(order) {
+		t.Fatalf("replayed %d entries, want %d", len(replayed), len(order))
+	}
+	for i := range order {
+		if replayed[i] != order[i] {
+			t.Fatalf("position %d: replayed %q, enqueued %q", i, replayed[i], order[i])
+		}
+	}
+}
+
+// TestWriteFailureWedgesLog: after a failed write or fsync the on-disk tail
+// is unknown, so the log must refuse all further appends and checkpoints
+// rather than risk writing after a gap.
+func TestWriteFailureWedgesLog(t *testing.T) {
+	l, _ := openTemp(t, nil)
+	if _, err := l.Append([]byte("healthy")); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the descriptor so the next batch write fails.
+	l.mu.Lock()
+	l.f.Close()
+	l.mu.Unlock()
+
+	if _, err := l.Append([]byte("doomed")); err == nil {
+		t.Fatal("Append after descriptor failure succeeded")
+	}
+	if _, err := l.Append([]byte("after-wedge")); err == nil {
+		t.Fatal("Append on wedged log succeeded")
+	} else if l.wedged == nil {
+		t.Fatal("log not marked wedged after write failure")
+	}
+	if err := l.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on wedged log succeeded")
+	}
+}
+
+// TestCheckpointDuringConcurrentAppends races Checkpoint against a steady
+// append load: whatever interleaving happens, the surviving file must replay
+// as a contiguous sequence from zero.
+func TestCheckpointDuringConcurrentAppends(t *testing.T) {
+	l, path := openTemp(t, nil)
+
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Checkpoint(); err != nil {
+			t.Fatalf("checkpoint %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	count := 0
+	l2, err := Open(path, func(e Entry) error {
+		if e.Seq != uint64(count) {
+			return fmt.Errorf("seq %d at position %d", e.Seq, count)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if count > writers*perWriter {
+		t.Fatalf("replayed %d entries, more than the %d ever appended", count, writers*perWriter)
+	}
+}
