@@ -1,0 +1,48 @@
+// Command medtorture runs the crash-recovery torture harness: a scripted
+// clinical workload over a fault-injecting in-memory filesystem, with a
+// simulated power cut (and fsync failure, ENOSPC, and bit rot) at every
+// filesystem operation the workload performs, followed by recovery and a
+// full durability audit. See internal/core/torture.go for the invariants.
+//
+//	medtorture          # full matrix: every injection point
+//	medtorture -quick   # CI smoke: every fifth point
+//	medtorture -v       # progress per phase and per failure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"medvault/internal/core"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "subsample the injection-point matrix (CI smoke)")
+	stride := flag.Int("stride", 0, "test every Nth injection point (overrides -quick's stride)")
+	verbose := flag.Bool("v", false, "print phase progress")
+	flag.Parse()
+
+	opts := core.TortureOpts{Quick: *quick, Stride: *stride}
+	if *verbose {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	rep, err := core.RunTorture(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "medtorture: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("medtorture: %d injection points, %d crash scenarios, %d fault scenarios\n",
+		rep.InjectionPoints, rep.CrashScenarios, rep.FaultScenarios)
+	if rep.Passed() {
+		fmt.Println("medtorture: all durability invariants held")
+		return
+	}
+	fmt.Printf("medtorture: %d invariant violations:\n", len(rep.Failures))
+	for _, f := range rep.Failures {
+		fmt.Printf("  %s\n", f)
+	}
+	os.Exit(1)
+}

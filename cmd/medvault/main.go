@@ -41,6 +41,7 @@ import (
 	"medvault/internal/backup"
 	"medvault/internal/core"
 	"medvault/internal/ehr"
+	"medvault/internal/faultfs"
 	"medvault/internal/vaultcfg"
 )
 
@@ -570,11 +571,10 @@ func cmdBackup(args []string) error {
 	if err != nil {
 		return err
 	}
-	blob := backup.Encode(arch)
-	if err := os.WriteFile(*out, blob, 0o600); err != nil {
+	if err := backup.SaveArchive(faultfs.OS{}, *out, arch); err != nil {
 		return err
 	}
-	fmt.Printf("backed up %d records to %s (%d bytes, sealed)\n", len(arch.Manifest.Entries), *out, len(blob))
+	fmt.Printf("backed up %d records to %s (%d bytes, sealed)\n", len(arch.Manifest.Entries), *out, len(backup.Encode(arch)))
 	return nil
 }
 
@@ -592,11 +592,7 @@ func cmdRestore(args []string) error {
 	if err != nil {
 		return fmt.Errorf("backup key: %w", err)
 	}
-	blob, err := os.ReadFile(*in)
-	if err != nil {
-		return err
-	}
-	arch, err := backup.Decode(blob)
+	arch, err := backup.LoadArchive(faultfs.OS{}, *in)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,49 @@
+package backup
+
+import (
+	"fmt"
+	"os"
+
+	"medvault/internal/faultfs"
+)
+
+// SaveArchive writes the encoded archive to path durably: the bytes are
+// written to a temp file, synced to the medium, and renamed into place, so a
+// crash mid-save leaves either the previous archive or none — never a
+// truncated one that would fail manifest verification at the worst moment.
+func SaveArchive(fsys faultfs.FS, path string, arch *Archive) error {
+	blob := Encode(arch)
+	tmp := path + ".tmp"
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		return fmt.Errorf("backup: writing archive: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("backup: writing archive: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("backup: syncing archive: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("backup: closing archive: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("backup: committing archive: %w", err)
+	}
+	return nil
+}
+
+// LoadArchive reads and decodes an archive saved with SaveArchive.
+func LoadArchive(fsys faultfs.FS, path string) (*Archive, error) {
+	blob, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("backup: reading archive: %w", err)
+	}
+	return Decode(blob)
+}

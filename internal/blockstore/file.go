@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"medvault/internal/faultfs"
 )
 
 // File is a Store backed by segment files in a directory. Segments are named
@@ -20,26 +22,33 @@ import (
 // torn trailing frame in the newest segment (the only place one can occur).
 type File struct {
 	mu     sync.RWMutex
+	fs     faultfs.FS
 	dir    string
 	segCap int
-	active *os.File // newest segment, opened for append
-	sizes  []int64  // committed byte length per segment
+	active faultfs.File // newest segment, opened for append
+	sizes  []int64      // committed byte length per segment
 	count  int
 	closed bool
 }
 
 var _ Store = (*File)(nil)
 
-// OpenFile opens (or creates) a file-backed store in dir. segCap is the
-// segment capacity in bytes (0 means 64 MiB).
+// OpenFile opens (or creates) a file-backed store in dir on the real
+// filesystem. segCap is the segment capacity in bytes (0 means 64 MiB).
 func OpenFile(dir string, segCap int) (*File, error) {
+	return OpenFileFS(faultfs.OS{}, dir, segCap)
+}
+
+// OpenFileFS is OpenFile over an explicit filesystem — the seam the
+// fault-injection and crash-simulation tests use.
+func OpenFileFS(fsys faultfs.FS, dir string, segCap int) (*File, error) {
 	if segCap <= 0 {
 		segCap = 64 << 20
 	}
-	if err := os.MkdirAll(dir, 0o700); err != nil {
+	if err := fsys.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("blockstore: creating %s: %w", dir, err)
 	}
-	f := &File{dir: dir, segCap: segCap}
+	f := &File{fs: fsys, dir: dir, segCap: segCap}
 	if err := f.recover(); err != nil {
 		return nil, err
 	}
@@ -51,7 +60,7 @@ func segName(i int) string { return fmt.Sprintf("seg-%08d.blk", i) }
 // recover scans existing segments, validating frames and truncating a torn
 // tail on the newest segment.
 func (f *File) recover() error {
-	names, err := listSegments(f.dir)
+	names, err := listSegments(f.fs, f.dir)
 	if err != nil {
 		return err
 	}
@@ -61,11 +70,11 @@ func (f *File) recover() error {
 	f.sizes = make([]int64, len(names))
 	for i, name := range names {
 		path := filepath.Join(f.dir, name)
-		valid, blocks, err := validatePrefix(path)
+		valid, blocks, err := validatePrefix(f.fs, path)
 		if err != nil {
 			return fmt.Errorf("blockstore: recovering %s: %w", name, err)
 		}
-		info, err := os.Stat(path)
+		info, err := f.fs.Stat(path)
 		if err != nil {
 			return fmt.Errorf("blockstore: recovering %s: %w", name, err)
 		}
@@ -74,7 +83,7 @@ func (f *File) recover() error {
 				// Torn frames may only exist at the very end of the log.
 				return fmt.Errorf("%w: segment %s has invalid frame at offset %d", ErrCorrupt, name, valid)
 			}
-			if err := os.Truncate(path, valid); err != nil {
+			if err := f.fs.Truncate(path, valid); err != nil {
 				return fmt.Errorf("blockstore: truncating torn tail of %s: %w", name, err)
 			}
 		}
@@ -82,7 +91,7 @@ func (f *File) recover() error {
 		f.count += blocks
 	}
 	last := len(names) - 1
-	active, err := os.OpenFile(filepath.Join(f.dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o600)
+	active, err := f.fs.OpenFile(filepath.Join(f.dir, segName(last)), os.O_WRONLY|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("blockstore: opening active segment: %w", err)
 	}
@@ -90,8 +99,8 @@ func (f *File) recover() error {
 	return nil
 }
 
-func listSegments(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys faultfs.FS, dir string) ([]string, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("blockstore: listing %s: %w", dir, err)
 	}
@@ -114,8 +123,8 @@ func listSegments(dir string) ([]string, error) {
 
 // validatePrefix returns the byte length of the valid frame prefix of the
 // segment file and the number of complete frames in it.
-func validatePrefix(path string) (int64, int, error) {
-	data, err := os.ReadFile(path)
+func validatePrefix(fsys faultfs.FS, path string) (int64, int, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -133,7 +142,7 @@ func validatePrefix(path string) (int64, int, error) {
 }
 
 func (f *File) openSegment(i int) error {
-	file, err := os.OpenFile(filepath.Join(f.dir, segName(i)), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o600)
+	file, err := f.fs.OpenFile(filepath.Join(f.dir, segName(i)), os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("blockstore: creating segment %d: %w", i, err)
 	}
@@ -156,6 +165,12 @@ func (f *File) Append(data []byte) (Ref, error) {
 	}
 	cur := len(f.sizes) - 1
 	if f.sizes[cur]+int64(len(frame)) > int64(f.segCap) {
+		// A rotated-away segment is never written again, so this is the last
+		// chance to make its tail durable; close without sync would leave the
+		// frozen segment's recent frames at the mercy of the page cache.
+		if err := f.active.Sync(); err != nil {
+			return Ref{}, fmt.Errorf("blockstore: syncing full segment: %w", err)
+		}
 		if err := f.active.Close(); err != nil {
 			return Ref{}, fmt.Errorf("blockstore: closing full segment: %w", err)
 		}
@@ -190,7 +205,7 @@ func (f *File) Read(ref Ref) ([]byte, error) {
 	if int64(ref.Offset) >= f.sizes[ref.Segment] {
 		return nil, fmt.Errorf("%w: offset %d beyond committed %d", ErrNotFound, ref.Offset, f.sizes[ref.Segment])
 	}
-	file, err := os.Open(filepath.Join(f.dir, segName(int(ref.Segment))))
+	file, err := f.fs.OpenFile(filepath.Join(f.dir, segName(int(ref.Segment))), os.O_RDONLY, 0)
 	if err != nil {
 		return nil, fmt.Errorf("blockstore: opening segment %d: %w", ref.Segment, err)
 	}
@@ -225,7 +240,7 @@ func (f *File) Scan(fn func(ref Ref, data []byte) error) error {
 		return ErrClosed
 	}
 	for si := range f.sizes {
-		data, err := os.ReadFile(filepath.Join(f.dir, segName(si)))
+		data, err := f.fs.ReadFile(filepath.Join(f.dir, segName(si)))
 		if err != nil {
 			return fmt.Errorf("blockstore: scanning segment %d: %w", si, err)
 		}
@@ -307,7 +322,7 @@ func (f *File) ReadRaw() ([]byte, error) {
 	defer f.mu.RUnlock()
 	var out []byte
 	for si := range f.sizes {
-		data, err := os.ReadFile(filepath.Join(f.dir, segName(si)))
+		data, err := f.fs.ReadFile(filepath.Join(f.dir, segName(si)))
 		if err != nil {
 			return nil, fmt.Errorf("blockstore: raw read of segment %d: %w", si, err)
 		}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"medvault/internal/ehr"
+)
+
+// FuzzDecodeBundle feeds arbitrary bytes to the export-bundle decoder — the
+// parser that sits on the trust boundary between vaults during migration
+// and restore. It must never panic, and every accepted bundle must
+// re-encode to the identical bytes (the canonical-encoding property that
+// cross-system content signatures depend on).
+func FuzzDecodeBundle(f *testing.F) {
+	rec := ehr.Record{
+		ID:        "rec-fuzz",
+		Patient:   "Pat Fuzz",
+		MRN:       "mrn-1",
+		Category:  ehr.CategoryClinical,
+		Author:    "dr-house",
+		CreatedAt: time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC),
+		Title:     "note",
+		Body:      "fuzz corpus body",
+		Codes:     []string{"I10"},
+	}
+	seed := ExportBundle{
+		ID:       rec.ID,
+		Category: rec.Category,
+		Versions: []ExportedVersion{{
+			Record: rec,
+			Version: Version{
+				Number:    1,
+				Author:    "dr-house",
+				Timestamp: time.Date(2026, 1, 5, 9, 0, 0, 0, time.UTC),
+			},
+		}},
+	}
+	f.Add(EncodeBundle(seed))
+	f.Add(EncodeBundle(ExportBundle{ID: "empty", Category: ehr.CategoryLab}))
+	f.Add([]byte{})
+	f.Add([]byte("MVXB"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 80))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBundle(data)
+		if err != nil {
+			return
+		}
+		re := EncodeBundle(b)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical: %d bytes in, %d out", len(data), len(re))
+		}
+	})
+}

@@ -179,6 +179,17 @@ func (v *Vault) applyWALEntry(data []byte) error {
 
 func (v *Vault) replayVersion(id string, category ehr.Category, mrn string, ver Version, created time.Time, wrappedDEK []byte) error {
 	st := v.records[id]
+	// A crash between the snapshot rename and the WAL checkpoint leaves
+	// entries in the WAL that the snapshot already covers. Replay must be
+	// idempotent: skip a version the snapshot restored, but only if it is
+	// byte-identical — a mismatch means the log and snapshot diverged.
+	if st != nil && ver.Number <= uint64(len(st.versions)) {
+		have := st.versions[ver.Number-1]
+		if have.Number != ver.Number || have.CtHash != ver.CtHash {
+			return fmt.Errorf("core: WAL replay conflicts with snapshot: %s version %d", id, ver.Number)
+		}
+		return nil
+	}
 	if ver.Number == 1 {
 		if st != nil {
 			return fmt.Errorf("core: WAL replays version 1 of existing record %s", id)
@@ -305,17 +316,36 @@ func (v *Vault) writeSnapshotLocked() error {
 
 	path := filepath.Join(v.dir, "meta.snap")
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o600); err != nil {
+	f, err := v.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
 		return fmt.Errorf("core: writing snapshot: %w", err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		v.fs.Remove(tmp)
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	// Sync before the rename: the rename can become durable ahead of the
+	// data it names, and a crash in that window would leave a truncated or
+	// empty snapshot where a complete one was promised.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		v.fs.Remove(tmp)
+		return fmt.Errorf("core: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		v.fs.Remove(tmp)
+		return fmt.Errorf("core: closing snapshot: %w", err)
+	}
+	if err := v.fs.Rename(tmp, path); err != nil {
+		v.fs.Remove(tmp)
 		return fmt.Errorf("core: committing snapshot: %w", err)
 	}
 	return nil
 }
 
 func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
-	data, err := os.ReadFile(path)
+	data, err := v.fs.ReadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil // fresh vault

@@ -109,6 +109,15 @@ func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek 
 		Ref:       ref,
 		CtHash:    vcrypto.Hash(ct),
 	}
+	if v.metaWAL != nil {
+		// The WAL entry references this ciphertext by offset, and replay reads
+		// it back. Make the ciphertext durable before the intent can become
+		// durable, or a crash after the WAL fsync acks a version whose bytes
+		// only ever existed in the page cache.
+		if err := v.blocks.Sync(); err != nil {
+			return Version{}, fmt.Errorf("core: syncing ciphertext of %s v%d: %w", rec.ID, number, err)
+		}
+	}
 	var wait func() error
 	v.commitMu.Lock()
 	if v.metaWAL != nil {

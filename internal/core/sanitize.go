@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 
@@ -53,10 +52,10 @@ func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err e
 	var freshDir string
 	if durable {
 		freshDir = filepath.Join(v.dir, "blocks.sanitize")
-		if err := os.RemoveAll(freshDir); err != nil {
+		if err := v.fs.RemoveAll(freshDir); err != nil {
 			return 0, 0, fmt.Errorf("core: sanitize: clearing staging dir: %w", err)
 		}
-		f, err := blockstore.OpenFile(freshDir, 0)
+		f, err := blockstore.OpenFileFS(v.fs, freshDir, 0)
 		if err != nil {
 			return 0, 0, fmt.Errorf("core: sanitize: staging store: %w", err)
 		}
@@ -99,16 +98,16 @@ func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err e
 		}
 		liveDir := filepath.Join(v.dir, "blocks")
 		asideDir := filepath.Join(v.dir, "blocks.old")
-		if err := os.Rename(liveDir, asideDir); err != nil {
+		if err := v.fs.Rename(liveDir, asideDir); err != nil {
 			return 0, 0, fmt.Errorf("core: sanitize: setting old media aside: %w", err)
 		}
-		if err := os.Rename(freshDir, liveDir); err != nil {
+		if err := v.fs.Rename(freshDir, liveDir); err != nil {
 			return 0, 0, fmt.Errorf("core: sanitize: activating sanitized media: %w", err)
 		}
-		if err := os.RemoveAll(asideDir); err != nil {
+		if err := v.fs.RemoveAll(asideDir); err != nil {
 			return 0, 0, fmt.Errorf("core: sanitize: destroying old media: %w", err)
 		}
-		reopened, err := blockstore.OpenFile(liveDir, 0)
+		reopened, err := blockstore.OpenFileFS(v.fs, liveDir, 0)
 		if err != nil {
 			return 0, 0, fmt.Errorf("core: sanitize: reopening sanitized media: %w", err)
 		}

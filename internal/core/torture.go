@@ -1,0 +1,539 @@
+// Crash-recovery torture harness.
+//
+// RunTorture drives a scripted clinical workload against a vault backed by a
+// faultfs.Mem disk, enumerates every mutating filesystem operation the
+// workload performs, and then re-runs the workload once per operation with a
+// simulated power cut (or media fault) injected at that point. After each
+// cut it mounts the surviving crash image, reopens the vault, and asserts
+// the durability contract:
+//
+//   - Every operation that was acknowledged before the cut is present and
+//     readable after recovery: acked Put/Correct versions decrypt to the
+//     exact bodies that were written, acked Shreds stay shredded, acked
+//     legal holds are still in force.
+//   - VerifyAll passes: the WAL-rebuilt version set matches the Merkle
+//     commitment log leaf for leaf, the audit hash chain verifies, and
+//     every provenance custody chain verifies.
+//   - No plaintext ever touches the medium: the crash image is scanned for
+//     sentinel strings embedded in every record body, including shredded
+//     ones.
+//   - Recovery is idempotent: close and reopen the recovered vault a second
+//     time and the same checks hold.
+//
+// Unacknowledged operations may or may not survive — an ack is a lower
+// bound on durability, not an upper one — so the oracle only tracks acks.
+//
+// Beyond power cuts the harness injects non-crash faults: a failed fsync at
+// every sync point (the WAL must wedge rather than ack on a lying disk),
+// ENOSPC at every write, and single-bit rot on ciphertext reads (the
+// per-block CRC and AEAD tag must turn silent corruption into a loud error,
+// never wrong data).
+//
+// Known gaps, on purpose: SanitizeMedia is not in the workload (its
+// rewrite-and-swap has its own tests), and bit rot is injected only under
+// read paths of a healthy vault, not during recovery itself — recovery
+// treats an unreadable tail as torn, which is the designed response to a
+// torn tail but indistinguishable from rot of the final segment.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"medvault/internal/authz"
+	"medvault/internal/clock"
+	"medvault/internal/ehr"
+	"medvault/internal/faultfs"
+	"medvault/internal/vcrypto"
+)
+
+// tortureEpoch is the fixed start of vault time in every torture run; all
+// scenarios are deterministic given the same build.
+var tortureEpoch = time.Date(2026, 1, 5, 8, 0, 0, 0, time.UTC)
+
+// TortureOpts configures a torture run.
+type TortureOpts struct {
+	// Quick subsamples the crash-point matrix (roughly one point in five)
+	// for CI smoke runs. Injection-point enumeration is always complete.
+	Quick bool
+	// Stride overrides the subsampling stride; 0 means 1 (every point), or
+	// 5 when Quick is set.
+	Stride int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// TortureFailure is one violated invariant: which scenario, at which
+// injection point, and what broke.
+type TortureFailure struct {
+	Scenario string // e.g. "crash-after/keep-none"
+	Point    int    // mutating-op index the fault was injected at; -1 if n/a
+	Detail   string
+}
+
+func (f TortureFailure) String() string {
+	return fmt.Sprintf("%s point=%d: %s", f.Scenario, f.Point, f.Detail)
+}
+
+// TortureReport summarizes a run.
+type TortureReport struct {
+	InjectionPoints int // distinct mutating fs ops the workload performs
+	CrashScenarios  int // power-cut simulations executed
+	FaultScenarios  int // non-crash fault simulations (EIO/ENOSPC/bit rot)
+	Failures        []TortureFailure
+}
+
+// Passed reports whether every invariant held in every scenario.
+func (r TortureReport) Passed() bool { return len(r.Failures) == 0 }
+
+// oracle records what the vault acknowledged, so recovery can be audited
+// against it. Acked operations are owed durability. An operation that was
+// *attempted* but not acked before the cut is ambiguous — its intent may
+// have reached the WAL before the crash, so recovery may legitimately land
+// it or lose it — and the oracle tolerates either outcome. Sequential use
+// only.
+type oracle struct {
+	bodies   map[string][]string // id -> body per acked version (index = number-1)
+	shredded map[string]bool     // acked shreds
+	holds    map[string]bool     // acked holds not yet acked-released
+
+	shredTried   map[string]bool // Shred attempted (ack unknown at crash)
+	releaseTried map[string]bool // ReleaseHold attempted
+}
+
+func newOracle() *oracle {
+	return &oracle{
+		bodies:       make(map[string][]string),
+		shredded:     make(map[string]bool),
+		holds:        make(map[string]bool),
+		shredTried:   make(map[string]bool),
+		releaseTried: make(map[string]bool),
+	}
+}
+
+// sentinel builds the unique plaintext marker embedded in every version
+// body. The crash-image scan greps for sentinelPrefix.
+const sentinelPrefix = "TORTURE-SENTINEL"
+
+func sentinel(id string, version int) string {
+	return fmt.Sprintf("%s-%s-v%d", sentinelPrefix, id, version)
+}
+
+func tortureRecord(id string, version int, at time.Time) ehr.Record {
+	return ehr.Record{
+		ID:        id,
+		Patient:   "Pat Torture",
+		MRN:       "mrn-" + id,
+		Category:  ehr.CategoryClinical,
+		Author:    "dr-house",
+		CreatedAt: at,
+		Title:     "torture note " + id,
+		Body:      fmt.Sprintf("%s hypertension follow-up, dosage adjusted", sentinel(id, version)),
+		Codes:     []string{"I10"},
+	}
+}
+
+// openTorture opens (or reopens) the torture vault over fsys and registers
+// the standard staff — authorization state is in-memory by design, so every
+// mount re-registers it.
+func openTorture(fsys faultfs.FS) (*Vault, *clock.Virtual, error) {
+	var seed [32]byte
+	copy(seed[:], "medvault-torture-master-seed-32b")
+	master, err := vcrypto.KeyFromBytes(seed[:])
+	if err != nil {
+		return nil, nil, err
+	}
+	vc := clock.NewVirtual(tortureEpoch)
+	v, err := Open(Config{Name: "torture", Master: master, Clock: vc, Dir: "vault", FS: fsys})
+	if err != nil {
+		return nil, nil, err
+	}
+	a := v.Authz()
+	for _, r := range authz.StandardRoles() {
+		a.DefineRole(r)
+	}
+	if err := a.AddPrincipal("dr-house", "physician"); err != nil {
+		v.Close()
+		return nil, nil, err
+	}
+	if err := a.AddPrincipal("arch-lee", "archivist"); err != nil {
+		v.Close()
+		return nil, nil, err
+	}
+	return v, vc, nil
+}
+
+// runWorkload executes the scripted workload, recording each acknowledgment
+// in o the moment the vault returns success. It aborts at the first error
+// (the injected fault) and returns it; everything recorded before that
+// moment was acked and is owed durability.
+func runWorkload(v *Vault, vc *clock.Virtual, o *oracle) error {
+	put := func(id string) error {
+		rec := tortureRecord(id, 1, vc.Now())
+		if _, err := v.Put("dr-house", rec); err != nil {
+			return err
+		}
+		o.bodies[id] = append(o.bodies[id], rec.Body)
+		return nil
+	}
+	correct := func(id string) error {
+		n := len(o.bodies[id]) + 1
+		rec := tortureRecord(id, n, vc.Now())
+		if _, err := v.Correct("dr-house", rec); err != nil {
+			return err
+		}
+		o.bodies[id] = append(o.bodies[id], rec.Body)
+		return nil
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := put(fmt.Sprintf("rec-%d", i)); err != nil {
+			return err
+		}
+	}
+	if err := correct("rec-1"); err != nil {
+		return err
+	}
+	if err := correct("rec-2"); err != nil {
+		return err
+	}
+	if err := v.PlaceHold("arch-lee", "rec-3", "litigation"); err != nil {
+		return err
+	}
+	o.holds["rec-3"] = true
+	if err := v.PlaceHold("arch-lee", "rec-2", "investigation"); err != nil {
+		return err
+	}
+	o.holds["rec-2"] = true
+	o.releaseTried["rec-2"] = true
+	if err := v.ReleaseHold("arch-lee", "rec-2"); err != nil {
+		return err
+	}
+	delete(o.holds, "rec-2")
+	// Age past the clinical retention period so shredding is permitted.
+	vc.Advance(40 * 365 * 24 * time.Hour)
+	o.shredTried["rec-0"] = true
+	if err := v.Shred("arch-lee", "rec-0"); err != nil {
+		return err
+	}
+	o.shredded["rec-0"] = true
+	if err := put("rec-4"); err != nil {
+		return err
+	}
+	return v.Close()
+}
+
+// check audits a recovered vault against the oracle: every acked version
+// readable with its exact body, acked shreds shredded, acked holds held,
+// and full integrity verification clean.
+func (o *oracle) check(v *Vault) error {
+	for id, bodies := range o.bodies {
+		if o.shredded[id] {
+			continue
+		}
+		for i, want := range bodies {
+			rec, _, err := v.GetVersion("dr-house", id, uint64(i+1))
+			if err != nil {
+				// An in-flight shred's WAL intent may have survived the
+				// crash; the record landing shredded is a valid outcome.
+				if o.shredTried[id] && errors.Is(err, ErrShredded) {
+					break
+				}
+				return fmt.Errorf("acked %s v%d unreadable after recovery: %w", id, i+1, err)
+			}
+			if rec.Body != want {
+				return fmt.Errorf("acked %s v%d body mismatch after recovery", id, i+1)
+			}
+		}
+	}
+	for id := range o.shredded {
+		if _, _, err := v.Get("dr-house", id); !errors.Is(err, ErrShredded) {
+			return fmt.Errorf("acked shred of %s not honored after recovery: err=%v", id, err)
+		}
+	}
+	held := make(map[string]bool)
+	for _, h := range v.Retention().Holds() {
+		held[h.Record] = true
+	}
+	for id := range o.holds {
+		if !held[id] && !o.releaseTried[id] {
+			return fmt.Errorf("acked legal hold on %s lost in recovery", id)
+		}
+	}
+	if _, err := v.VerifyAll(nil, nil); err != nil {
+		return fmt.Errorf("integrity verification failed after recovery: %w", err)
+	}
+	return nil
+}
+
+// scanForPlaintext greps a crash image for sentinel plaintext. Every byte
+// on the medium is supposed to be ciphertext, HMAC tokens, or structural
+// metadata — a sentinel hit means a record body leaked.
+func scanForPlaintext(img *faultfs.Mem) error {
+	needle := []byte(sentinelPrefix)
+	for path, data := range img.Dump() {
+		if bytes.Contains(data, needle) {
+			return fmt.Errorf("plaintext sentinel found on medium in %s", path)
+		}
+	}
+	return nil
+}
+
+// recoverAndCheck mounts the crash image, recovers, audits against the
+// oracle, then closes and recovers a second time to prove recovery is
+// idempotent. Finally it scans the medium for plaintext.
+func recoverAndCheck(img *faultfs.Mem, o *oracle) error {
+	for pass := 1; pass <= 2; pass++ {
+		v, _, err := openTorture(img)
+		if err != nil {
+			return fmt.Errorf("recovery pass %d failed: %w", pass, err)
+		}
+		if err := o.check(v); err != nil {
+			v.Close()
+			return fmt.Errorf("recovery pass %d: %w", pass, err)
+		}
+		if err := v.Close(); err != nil {
+			return fmt.Errorf("recovery pass %d close: %w", pass, err)
+		}
+	}
+	return scanForPlaintext(img)
+}
+
+// enumerate runs the workload once, fault-free, over a recording injector
+// and returns the full op trace. It also sanity-checks the harness itself:
+// the clean image must recover and pass the oracle.
+func enumerate() ([]faultfs.Op, error) {
+	var trace []faultfs.Op
+	recorder := func(op faultfs.Op) *faultfs.Fault {
+		if op.Index >= 0 {
+			trace = append(trace, op)
+		}
+		return nil
+	}
+	mem := faultfs.NewMem()
+	fsys := faultfs.NewFaulty(mem, recorder)
+	v, vc, err := openTorture(fsys)
+	if err != nil {
+		return nil, fmt.Errorf("torture: clean open failed: %w", err)
+	}
+	o := newOracle()
+	if err := runWorkload(v, vc, o); err != nil {
+		return nil, fmt.Errorf("torture: clean workload failed: %w", err)
+	}
+	if err := recoverAndCheck(mem.CrashImage(faultfs.KeepAll), o); err != nil {
+		return nil, fmt.Errorf("torture: clean run fails its own oracle: %w", err)
+	}
+	return trace, nil
+}
+
+// runScenario executes the workload with the given injector, takes a crash
+// image under keep, and audits recovery. A workload error is expected (the
+// injected fault surfacing); what matters is that everything acked before
+// it survives. Panics anywhere in the scenario are converted to failures.
+func runScenario(name string, point int, inject faultfs.Injector, keep faultfs.KeepPolicy) (fail *TortureFailure) {
+	defer func() {
+		if r := recover(); r != nil {
+			fail = &TortureFailure{Scenario: name, Point: point, Detail: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	mem := faultfs.NewMem()
+	fsys := faultfs.NewFaulty(mem, inject)
+	o := newOracle()
+	v, vc, err := openTorture(fsys)
+	if err == nil {
+		// The workload aborts at the injected fault; acks recorded up to
+		// that point are the durability obligation. The faulted vault is
+		// abandoned un-Closed, exactly as a power cut would leave it.
+		_ = runWorkload(v, vc, o)
+	}
+	if err := recoverAndCheck(mem.CrashImage(keep), o); err != nil {
+		return &TortureFailure{Scenario: name, Point: point, Detail: err.Error()}
+	}
+	return nil
+}
+
+// crashMatrix returns the scenarios exercised at one injection point.
+func crashMatrix(op faultfs.Op) []struct {
+	name   string
+	inject faultfs.Injector
+	keep   faultfs.KeepPolicy
+} {
+	i := op.Index
+	m := []struct {
+		name   string
+		inject faultfs.Injector
+		keep   faultfs.KeepPolicy
+	}{
+		{"crash-before/keep-none", faultfs.CrashBefore(i), faultfs.KeepNone},
+		{"crash-after/keep-none", faultfs.CrashAfter(i), faultfs.KeepNone},
+		{"crash-after/keep-all", faultfs.CrashAfter(i), faultfs.KeepAll},
+		{"crash-after/keep-half", faultfs.CrashAfter(i), faultfs.KeepHalf},
+	}
+	if op.Kind == faultfs.OpWrite {
+		m = append(m, struct {
+			name   string
+			inject faultfs.Injector
+			keep   faultfs.KeepPolicy
+		}{"torn-write/keep-all", faultfs.TornWriteAt(i), faultfs.KeepAll})
+	}
+	return m
+}
+
+// armedRot corrupts the next ciphertext read after arm() is called.
+type armedRot struct {
+	armed bool
+	skip  int // reads to let through before corrupting
+	seen  int
+}
+
+func (a *armedRot) inject(op faultfs.Op) *faultfs.Fault {
+	if !a.armed || op.Kind != faultfs.OpRead || !strings.Contains(op.Path, "blocks") {
+		return nil
+	}
+	if a.seen < a.skip {
+		a.seen++
+		return nil
+	}
+	a.armed = false
+	return &faultfs.Fault{CorruptRead: true}
+}
+
+func (a *armedRot) arm(skip int) { a.armed, a.skip, a.seen = true, skip, 0 }
+
+// runBitRot exercises read-path corruption detection: a clean workload is
+// written and recovered, then each ciphertext read under GetVersion is
+// flipped by one bit. The vault must return an error or the exact correct
+// body — silently wrong data is the one unforgivable outcome. Returns the
+// number of scenarios run and any failures.
+func runBitRot() (int, []TortureFailure) {
+	var fails []TortureFailure
+	mem := faultfs.NewMem()
+	o := newOracle()
+	{
+		v, vc, err := openTorture(mem)
+		if err != nil {
+			return 0, []TortureFailure{{Scenario: "bit-rot/setup", Point: -1, Detail: err.Error()}}
+		}
+		if err := runWorkload(v, vc, o); err != nil {
+			return 0, []TortureFailure{{Scenario: "bit-rot/setup", Point: -1, Detail: err.Error()}}
+		}
+	}
+	rot := &armedRot{}
+	fsys := faultfs.NewFaulty(mem, rot.inject)
+	v, _, err := openTorture(fsys)
+	if err != nil {
+		return 0, []TortureFailure{{Scenario: "bit-rot/reopen", Point: -1, Detail: err.Error()}}
+	}
+	defer v.Close()
+
+	scenarios := 0
+	for id, bodies := range o.bodies {
+		if o.shredded[id] {
+			continue
+		}
+		for i, want := range bodies {
+			// skip=0 corrupts the block header read, skip=1 the payload.
+			for skip := 0; skip <= 1; skip++ {
+				rot.arm(skip)
+				scenarios++
+				rec, _, err := v.GetVersion("dr-house", id, uint64(i+1))
+				if err == nil && rec.Body != want {
+					fails = append(fails, TortureFailure{
+						Scenario: fmt.Sprintf("bit-rot/read-%d", skip),
+						Point:    -1,
+						Detail:   fmt.Sprintf("%s v%d: corrupted read returned wrong data without error", id, i+1),
+					})
+				}
+			}
+		}
+	}
+	rot.armed = false
+	// The medium itself was never corrupted — only reads in flight — so
+	// with the injector disarmed the vault must verify clean end to end.
+	if _, err := v.VerifyAll(nil, nil); err != nil {
+		fails = append(fails, TortureFailure{Scenario: "bit-rot/aftermath", Point: -1,
+			Detail: fmt.Sprintf("vault does not verify after transient read faults: %v", err)})
+	}
+	return scenarios, fails
+}
+
+// RunTorture executes the full torture schedule and reports.
+func RunTorture(opts TortureOpts) (TortureReport, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	stride := opts.Stride
+	if stride <= 0 {
+		stride = 1
+		if opts.Quick {
+			stride = 5
+		}
+	}
+
+	var rep TortureReport
+	trace, err := enumerate()
+	if err != nil {
+		return rep, err
+	}
+	rep.InjectionPoints = len(trace)
+	logf("enumerated %d injection points (stride %d)", len(trace), stride)
+
+	syncs, writes := 0, 0
+	for idx, op := range trace {
+		if op.Kind == faultfs.OpSync {
+			syncs++
+		}
+		if op.Kind == faultfs.OpWrite || op.Kind == faultfs.OpWriteFile {
+			writes++
+		}
+		if idx%stride != 0 {
+			continue
+		}
+		for _, sc := range crashMatrix(op) {
+			rep.CrashScenarios++
+			if f := runScenario(sc.name, op.Index, sc.inject, sc.keep); f != nil {
+				rep.Failures = append(rep.Failures, *f)
+				logf("FAIL %s", f)
+			}
+		}
+	}
+	logf("crash matrix done: %d scenarios", rep.CrashScenarios)
+
+	// Failed fsync at every sync point: the WAL wedges, blockstore syncs
+	// surface the error to the caller — either way nothing acked may be
+	// lost, and nothing may be acked after the lie.
+	for n := 0; n < syncs; n += stride {
+		rep.FaultScenarios++
+		if f := runScenario("eio-sync/keep-all", n, faultfs.FailNthSync(n, faultfs.ErrInjected), faultfs.KeepAll); f != nil {
+			rep.Failures = append(rep.Failures, *f)
+			logf("FAIL %s", f)
+		}
+	}
+	// ENOSPC at every write point.
+	seen := 0
+	for _, op := range trace {
+		if op.Kind != faultfs.OpWrite && op.Kind != faultfs.OpWriteFile {
+			continue
+		}
+		if seen%stride == 0 {
+			rep.FaultScenarios++
+			if f := runScenario("enospc/keep-all", op.Index, faultfs.FailAt(op.Index, faultfs.ErrNoSpace), faultfs.KeepAll); f != nil {
+				rep.Failures = append(rep.Failures, *f)
+				logf("FAIL %s", f)
+			}
+		}
+		seen++
+	}
+	logf("fault matrix done: %d scenarios (%d syncs, %d writes in trace)", rep.FaultScenarios, syncs, writes)
+
+	n, fails := runBitRot()
+	rep.FaultScenarios += n
+	rep.Failures = append(rep.Failures, fails...)
+	logf("bit-rot done: %d scenarios", n)
+
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+// TestTortureFull runs the complete crash-recovery torture schedule: every
+// mutating filesystem op the scripted workload performs gets a simulated
+// power cut (four keep policies plus torn writes), a failed fsync, and
+// ENOSPC, and every ciphertext read gets bit rot. The acceptance bar from
+// the issue: at least 50 distinct injection points, zero violated
+// invariants.
+func TestTortureFull(t *testing.T) {
+	rep, err := RunTorture(TortureOpts{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RunTorture: %v", err)
+	}
+	if rep.InjectionPoints < 50 {
+		t.Errorf("enumerated %d injection points, want >= 50", rep.InjectionPoints)
+	}
+	if rep.CrashScenarios < 200 {
+		t.Errorf("ran %d crash scenarios, want >= 200", rep.CrashScenarios)
+	}
+	if rep.FaultScenarios < 30 {
+		t.Errorf("ran %d fault scenarios, want >= 30", rep.FaultScenarios)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+}
+
+// TestTortureQuick exercises the subsampled CI-smoke path.
+func TestTortureQuick(t *testing.T) {
+	rep, err := RunTorture(TortureOpts{Quick: true})
+	if err != nil {
+		t.Fatalf("RunTorture: %v", err)
+	}
+	if !rep.Passed() {
+		for _, f := range rep.Failures {
+			t.Errorf("invariant violated: %s", f)
+		}
+	}
+	if rep.CrashScenarios >= 200 {
+		t.Errorf("quick mode ran %d crash scenarios; expected subsampling", rep.CrashScenarios)
+	}
+}

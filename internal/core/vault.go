@@ -36,6 +36,7 @@ import (
 	"medvault/internal/blockstore"
 	"medvault/internal/clock"
 	"medvault/internal/ehr"
+	"medvault/internal/faultfs"
 	"medvault/internal/index"
 	"medvault/internal/merkle"
 	"medvault/internal/provenance"
@@ -104,6 +105,10 @@ type Config struct {
 	// provenance go to segment files under Dir, and record metadata is
 	// write-ahead logged and snapshotted for crash recovery.
 	Dir string
+	// FS is the filesystem durable state is written through; nil means the
+	// real one. The crash-recovery torture harness injects faultfs.Mem (with
+	// a fault wrapper) here to simulate power cuts and media faults.
+	FS faultfs.FS
 	// AuditCheckpointInterval is the automatic audit checkpoint cadence in
 	// events (0 disables automatic checkpoints).
 	AuditCheckpointInterval int
@@ -112,9 +117,9 @@ type Config struct {
 // Vault is the hybrid compliance store. Locking follows the discipline
 // documented in locks.go: gate → stripe → commitMu → leaf locks.
 type Vault struct {
-	gate     opGate      // open/close lifecycle; ops hold it shared
-	stripes  lockStripes // per-record serialization
-	commitMu sync.Mutex  // sequences {WAL enqueue, Merkle append} pairs
+	gate     opGate       // open/close lifecycle; ops hold it shared
+	stripes  lockStripes  // per-record serialization
+	commitMu sync.Mutex   // sequences {WAL enqueue, Merkle append} pairs
 	regMu    sync.RWMutex // guards the records map itself (a leaf lock)
 
 	name   string
@@ -133,6 +138,7 @@ type Vault struct {
 	leafSeq  atomic.Uint64 // total versions committed (== Merkle log size)
 	metaWAL  *wal.Log
 	dir      string
+	fs       faultfs.FS
 	masterFP string // master key fingerprint, for manifests
 
 	// auditStore and provStore are retained so Close can release their
@@ -151,6 +157,10 @@ func Open(cfg Config) (*Vault, error) {
 	}
 	signer := vcrypto.SignerFromSeed(vcrypto.DeriveKey(cfg.Master, "vault/signer"))
 	now := func() time.Time { return clk.Now() }
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
 
 	v := &Vault{
 		name:     cfg.Name,
@@ -161,6 +171,7 @@ func Open(cfg Config) (*Vault, error) {
 		auth:     authz.New(now),
 		records:  make(map[string]*recordState),
 		dir:      cfg.Dir,
+		fs:       fsys,
 		masterFP: cfg.Master.Fingerprint(),
 	}
 
@@ -180,13 +191,13 @@ func Open(cfg Config) (*Vault, error) {
 		provSt = blockstore.NewMemory(0)
 	} else {
 		var err error
-		if blockSt, err = blockstore.OpenFile(filepath.Join(cfg.Dir, "blocks"), 0); err != nil {
+		if blockSt, err = blockstore.OpenFileFS(fsys, filepath.Join(cfg.Dir, "blocks"), 0); err != nil {
 			return nil, fmt.Errorf("core: opening block store: %w", err)
 		}
-		if auditSt, err = blockstore.OpenFile(filepath.Join(cfg.Dir, "audit"), 0); err != nil {
+		if auditSt, err = blockstore.OpenFileFS(fsys, filepath.Join(cfg.Dir, "audit"), 0); err != nil {
 			return nil, fmt.Errorf("core: opening audit store: %w", err)
 		}
-		if provSt, err = blockstore.OpenFile(filepath.Join(cfg.Dir, "prov"), 0); err != nil {
+		if provSt, err = blockstore.OpenFileFS(fsys, filepath.Join(cfg.Dir, "prov"), 0); err != nil {
 			return nil, fmt.Errorf("core: opening provenance store: %w", err)
 		}
 	}
@@ -233,7 +244,7 @@ func (v *Vault) recover(master vcrypto.Key) error {
 		return err
 	}
 	walPath := filepath.Join(v.dir, "meta.wal")
-	w, err := wal.Open(walPath, func(e wal.Entry) error {
+	w, err := wal.OpenFS(v.fs, walPath, func(e wal.Entry) error {
 		return v.applyWALEntry(e.Data)
 	})
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"medvault/internal/faultfs"
 	"medvault/internal/obs"
 )
 
@@ -44,9 +45,6 @@ var (
 		"Entries coalesced per group commit.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
 )
-
-// renameFile is swapped out by tests to inject checkpoint rename failures.
-var renameFile = os.Rename
 
 // Errors returned by the package.
 var (
@@ -73,7 +71,8 @@ type waiter struct {
 type Log struct {
 	mu      sync.Mutex
 	idle    *sync.Cond // signaled when a flush cycle drains (flushing -> false)
-	f       *os.File
+	fs      faultfs.FS
+	f       faultfs.File
 	path    string
 	nextSeq uint64
 	size    int64
@@ -93,14 +92,20 @@ const entryOverhead = 8 + 4 + 4
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Open opens (or creates) the WAL at path, truncating any torn tail.
-// Recovered entries are replayed to fn in order before Open returns; fn may
-// be nil to skip replay.
+// Open opens (or creates) the WAL at path on the real filesystem, truncating
+// any torn tail. Recovered entries are replayed to fn in order before Open
+// returns; fn may be nil to skip replay.
 func Open(path string, fn func(Entry) error) (*Log, error) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o700); err != nil {
+	return OpenFS(faultfs.OS{}, path, fn)
+}
+
+// OpenFS is Open over an explicit filesystem — the seam fault-injection and
+// crash-simulation tests use.
+func OpenFS(fsys faultfs.FS, path string, fn func(Entry) error) (*Log, error) {
+	if err := fsys.MkdirAll(filepath.Dir(path), 0o700); err != nil {
 		return nil, fmt.Errorf("wal: creating dir: %w", err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("wal: reading %s: %w", path, err)
 	}
@@ -125,15 +130,15 @@ func Open(path string, fn func(Entry) error) (*Log, error) {
 		off += int64(n)
 	}
 	if int(off) < len(data) {
-		if err := os.Truncate(path, off); err != nil {
+		if err := fsys.Truncate(path, off); err != nil {
 			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("wal: opening %s: %w", path, err)
 	}
-	l := &Log{f: f, path: path, nextSeq: nextSeq, size: off}
+	l := &Log{fs: fsys, f: f, path: path, nextSeq: nextSeq, size: off}
 	l.idle = sync.NewCond(&l.mu)
 	return l, nil
 }
@@ -289,18 +294,18 @@ func (l *Log) Checkpoint() error {
 	// (rename moves the name, the descriptor follows the inode), so no
 	// reopen — which could itself fail — is needed.
 	tmp := l.path + ".tmp"
-	nf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o600)
+	nf, err := l.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC|os.O_APPEND, 0o600)
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint temp: %w", err)
 	}
 	if err := nf.Sync(); err != nil {
 		nf.Close()
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint temp sync: %w", err)
 	}
-	if err := renameFile(tmp, l.path); err != nil {
+	if err := l.fs.Rename(tmp, l.path); err != nil {
 		nf.Close()
-		os.Remove(tmp)
+		l.fs.Remove(tmp)
 		return fmt.Errorf("wal: checkpoint rename: %w", err)
 	}
 	old := l.f

@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"medvault/internal/faultfs"
 )
 
 func openTemp(t *testing.T, fn func(Entry) error) (*Log, string) {
@@ -256,17 +258,29 @@ func TestEmptyPayloadAllowed(t *testing.T) {
 // handle before building the replacement, so a failed rename left the log
 // holding a closed file and every later Append failed permanently.
 func TestCheckpointRenameFailureKeepsLogUsable(t *testing.T) {
-	l, path := openTemp(t, nil)
+	path := filepath.Join(t.TempDir(), "wal.log")
+	injected := errors.New("injected rename failure")
+	failRename := false
+	fsys := faultfs.NewFaulty(faultfs.OS{}, func(op faultfs.Op) *faultfs.Fault {
+		if failRename && op.Kind == faultfs.OpRename {
+			return &faultfs.Fault{Err: injected}
+		}
+		return nil
+	})
+	l, err := OpenFS(fsys, path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
 	for i := 0; i < 5; i++ {
 		if _, err := l.Append([]byte(fmt.Sprintf("pre-%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 
-	injected := errors.New("injected rename failure")
-	renameFile = func(_, _ string) error { return injected }
-	err := l.Checkpoint()
-	renameFile = os.Rename
+	failRename = true
+	err = l.Checkpoint()
+	failRename = false
 	if !errors.Is(err, injected) {
 		t.Fatalf("Checkpoint error = %v, want injected failure", err)
 	}
