@@ -193,3 +193,68 @@ func TestClosedVaultFailsFast(t *testing.T) {
 		t.Errorf("SanitizeMedia after Close = %v, want ErrClosed", err)
 	}
 }
+// TestConcurrentVaultOperations hammers one vault from many goroutines and
+// then checks full integrity: no lost versions, no broken chains.
+func TestConcurrentVaultOperations(t *testing.T) {
+	v, _ := newVault(t)
+	const writers = 8
+	const perWriter = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*4)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec := ehr.Record{
+					ID:       fmt.Sprintf("w%d/rec-%d", w, i),
+					MRN:      fmt.Sprintf("mrn-w%d", w),
+					Patient:  "Concurrent Patient",
+					Category: ehr.CategoryClinical,
+					Author:   "dr-house", CreatedAt: testEpoch,
+					Title: "t", Body: fmt.Sprintf("note %d from writer %d with hypertension", i, w),
+				}
+				if _, err := v.Put("dr-house", rec); err != nil {
+					errs <- fmt.Errorf("put w%d/%d: %w", w, i, err)
+					return
+				}
+				if _, _, err := v.Get("dr-house", rec.ID); err != nil {
+					errs <- fmt.Errorf("get w%d/%d: %w", w, i, err)
+					return
+				}
+				if i%5 == 0 {
+					rec.Body += " corrected"
+					if _, err := v.Correct("dr-house", rec); err != nil {
+						errs <- fmt.Errorf("correct w%d/%d: %w", w, i, err)
+						return
+					}
+				}
+				if i%7 == 0 {
+					if _, err := v.Search("dr-house", "hypertension"); err != nil {
+						errs <- fmt.Errorf("search w%d/%d: %w", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if v.Len() != writers*perWriter {
+		t.Errorf("Len = %d, want %d", v.Len(), writers*perWriter)
+	}
+	rep, err := v.VerifyAll(nil, nil)
+	if err != nil {
+		t.Fatalf("VerifyAll after concurrency: %v", err)
+	}
+	wantVersions := writers * perWriter * 6 / 5 // every 5th record corrected
+	if rep.VersionsChecked != wantVersions {
+		t.Errorf("versions = %d, want %d", rep.VersionsChecked, wantVersions)
+	}
+	if _, err := v.aud.Verify(); err != nil {
+		t.Errorf("audit chain after concurrency: %v", err)
+	}
+}

@@ -167,6 +167,29 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// maxBodyBytes caps request bodies. Records are prose plus a few codes; a
+// body this large is an attack or a bug, and an unbounded decoder would
+// otherwise buffer whatever a client streams at it.
+const maxBodyBytes = 1 << 20
+
+// decodeJSON decodes a size-limited JSON body, writing the appropriate
+// error response (413 for an oversized body, 400 for malformed JSON) and
+// returning false if the request cannot proceed.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+		return false
+	}
+	return true
+}
+
 // actor extracts the authenticated principal, failing the request if absent.
 func actor(w http.ResponseWriter, r *http.Request) (string, bool) {
 	a := r.Header.Get(actorHeader)
@@ -222,8 +245,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p recordPayload
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+	if !decodeJSON(w, r, &p) {
 		return
 	}
 	rec := toRecord(p)
@@ -306,8 +328,7 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var p recordPayload
-	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+	if !decodeJSON(w, r, &p) {
 		return
 	}
 	p.ID = r.PathValue("id")
@@ -597,7 +618,10 @@ func (s *Server) handlePlaceHold(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req holdRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Reason == "" {
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Reason == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "a hold requires a JSON body with a reason"})
 		return
 	}
@@ -631,8 +655,7 @@ func (s *Server) handleBreakGlass(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req breakGlassRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invalid JSON: " + err.Error()})
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	if req.Minutes <= 0 {

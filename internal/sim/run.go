@@ -1,0 +1,828 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"medvault/internal/audit"
+	"medvault/internal/authz"
+	"medvault/internal/clock"
+	"medvault/internal/core"
+	"medvault/internal/ehr"
+	"medvault/internal/faultfs"
+	"medvault/internal/merkle"
+	"medvault/internal/provenance"
+	"medvault/internal/retention"
+	"medvault/internal/vcrypto"
+)
+
+// simEpoch is the virtual time every run starts at. It is part of the trace
+// contract: replays reconstruct the same clock from the same epoch.
+var simEpoch = time.Date(2026, 7, 6, 9, 0, 0, 0, time.UTC)
+
+// auditor is the fixed compliance-officer principal the deep check and
+// crash-resync run their queries as.
+const auditor = "officer-kim"
+
+// Divergence is the first point at which the vault and the reference model
+// disagree — the simulator's failure report.
+type Divergence struct {
+	Index int // step index within the trace
+	Step  Step
+	Msg   string
+}
+
+func (d *Divergence) Error() string {
+	return fmt.Sprintf("step %d %s: %s", d.Index, d.Step, d.Msg)
+}
+
+// RunOpts configures a generated run.
+type RunOpts struct {
+	Seed    int64
+	Ops     int
+	Workers int  // logical writers the generator interleaves (min 1)
+	Durable bool // file-backed vault over faultfs.Mem, with crash/fault steps
+	Name    string
+	Logf    func(format string, args ...any) // nil = silent
+}
+
+// Run generates a seeded op sequence and executes it against vault and model
+// in lockstep. It returns the full trace (also on success, for hashing) and
+// the first divergence, nil if none.
+func Run(opts RunOpts) (Trace, *Divergence) {
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.Name == "" {
+		opts.Name = "medsim"
+	}
+	plan := Plan{Format: traceFormat, Seed: opts.Seed, Workers: opts.Workers, Durable: opts.Durable, Name: opts.Name}
+	t := Trace{Plan: plan}
+	e, err := newEngine(plan, opts.Logf)
+	if err != nil {
+		return t, &Divergence{Index: -1, Msg: "opening vault: " + err.Error()}
+	}
+	g := newGen(plan)
+	for i := 0; i < opts.Ops; i++ {
+		s := g.next(e.model)
+		t.Steps = append(t.Steps, s)
+		if d := e.exec(i, s); d != nil {
+			return t, d
+		}
+	}
+	// Always end on a deep check so a run that only drifted silently still
+	// fails, and the final audit/provenance/disclosure state is compared.
+	final := Step{Op: OpVerify}
+	t.Steps = append(t.Steps, final)
+	return t, e.exec(len(t.Steps)-1, final)
+}
+
+// Replay executes a recorded trace — the repro path for shrunk failures.
+func Replay(t Trace, logf func(format string, args ...any)) *Divergence {
+	e, err := newEngine(t.Plan, logf)
+	if err != nil {
+		return &Divergence{Index: -1, Msg: "opening vault: " + err.Error()}
+	}
+	for i, s := range t.Steps {
+		if d := e.exec(i, s); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+// schedInjector is the run's programmable fault source: an absolute
+// mutating-op index to fail with ENOSPC, an index to cut power at (used to
+// crash mid-Close), and a one-shot bit-rot arm for ciphertext reads.
+type schedInjector struct {
+	enospcAt int // mutating-op index to fail with ErrNoSpace; -1 disarmed
+	crashAt  int // mutating-op index to latch a power cut at; -1 disarmed
+	rot      bool
+	fired    bool // an ENOSPC fault fired (silent failures count too)
+}
+
+func (i *schedInjector) inject(op faultfs.Op) *faultfs.Fault {
+	if op.Kind == faultfs.OpRead {
+		if i.rot && strings.Contains(op.Path, "blocks") {
+			i.rot = false
+			return &faultfs.Fault{CorruptRead: true}
+		}
+		return nil
+	}
+	if op.Index < 0 {
+		return nil
+	}
+	if i.crashAt >= 0 && op.Index >= i.crashAt {
+		return &faultfs.Fault{Crash: true}
+	}
+	if i.enospcAt >= 0 && op.Index >= i.enospcAt {
+		i.enospcAt = -1
+		i.fired = true
+		return &faultfs.Fault{Err: faultfs.ErrNoSpace}
+	}
+	return nil
+}
+
+// engine holds one run's live state: the model, the vault, the simulated
+// disk, and the off-system memory (remembered heads and checkpoints).
+type engine struct {
+	plan  Plan
+	model *Model
+	logf  func(format string, args ...any)
+
+	vc     *clock.Virtual
+	master [32]byte
+	mem    *faultfs.Mem
+	faulty *faultfs.Faulty
+	inj    *schedInjector
+	v      *core.Vault
+
+	heads []merkle.SignedTreeHead
+	cps   []audit.Checkpoint
+}
+
+func newEngine(plan Plan, logf func(format string, args ...any)) (*engine, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	e := &engine{
+		plan:   plan,
+		model:  NewModel(plan.Name, simEpoch),
+		logf:   logf,
+		vc:     clock.NewVirtual(simEpoch),
+		master: sha256.Sum256([]byte(fmt.Sprintf("medsim-master/%s/%d", plan.Name, plan.Seed))),
+	}
+	if plan.Durable {
+		e.mem = faultfs.NewMem()
+	}
+	return e, e.open()
+}
+
+// open mounts (or remounts) the vault over the current disk image with a
+// fresh fault wrapper, and re-registers the staff — principals are
+// deliberately not persisted by the vault, mirroring an identity provider.
+func (e *engine) open() error {
+	master, err := vcrypto.KeyFromBytes(e.master[:])
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Name: e.plan.Name, Master: master, Clock: e.vc}
+	if e.plan.Durable {
+		e.inj = &schedInjector{enospcAt: -1, crashAt: -1}
+		e.faulty = faultfs.NewFaulty(e.mem, e.inj.inject)
+		cfg.Dir = "vault"
+		cfg.FS = e.faulty
+	}
+	v, err := core.Open(cfg)
+	if err != nil {
+		return err
+	}
+	for _, r := range authz.StandardRoles() {
+		v.Authz().DefineRole(r)
+	}
+	for actor, role := range Staff() {
+		if err := v.Authz().AddPrincipal(actor, role); err != nil {
+			return err
+		}
+	}
+	e.v = v
+	return nil
+}
+
+// exec runs one step against model and vault and cross-checks the result.
+func (e *engine) exec(i int, s Step) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	switch s.Op {
+	case OpAdvance:
+		e.vc.Advance(time.Duration(s.Hours) * time.Hour)
+		e.model.advance(s)
+		return nil
+	case OpVerify:
+		d := e.deepCheck(i, s)
+		if e.plan.Durable && e.inj.fired {
+			// A pending ENOSPC fault fired inside the sweep's own audited
+			// queries; whatever mismatch the sweep reported is unreliable.
+			// Restart and resync instead, like any other faulted step.
+			e.inj.fired = false
+			return e.reconcile(i, s, outcome{kind: eOK})
+		}
+		return d
+	case OpCrash:
+		if !e.plan.Durable {
+			return nil
+		}
+		e.inj.enospcAt = -1 // a power cut supersedes a pending media fault
+		return e.crash(i, s)
+	case OpENOSPC:
+		if e.plan.Durable {
+			e.inj.enospcAt = e.faulty.MutatingOps() + s.N
+		}
+		return nil
+	case OpRevoke:
+		e.v.Authz().Revoke(s.Actor)
+		e.model.revoke(s)
+		return nil
+	}
+
+	want, d := e.vaultOp(i, s)
+	if e.plan.Durable && e.inj.fired {
+		// An injected fault fired inside this step. Whether the operation
+		// half-landed — or silently dropped an audit event the model expects —
+		// is ambiguous from the return value alone; restart and reconcile
+		// instead of comparing.
+		e.inj.fired = false
+		return e.reconcile(i, s, want)
+	}
+	if d != nil {
+		return d
+	}
+	// Cheap whole-vault invariants after every step; the expensive sweep runs
+	// on OpVerify.
+	if got, wantN := e.v.Len(), len(e.model.liveIDs()); got != wantN {
+		return div("live records: vault %d, model %d", got, wantN)
+	}
+	if got, wantN := e.v.Head().Size, uint64(e.model.totalVersions()); got != wantN {
+		return div("commitment log size: vault %d, model %d", got, wantN)
+	}
+	return nil
+}
+
+// vaultOp executes a vault operation step, advancing the model alongside,
+// and compares outcome class and payload. The returned outcome is the
+// model's prediction (needed by reconcile when a fault fired mid-step).
+func (e *engine) vaultOp(i int, s Step) (outcome, *Divergence) {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	mismatch := func(want outcome, got errKind, err error) *Divergence {
+		return div("outcome: vault %s (%v), model %s", got, err, want.kind)
+	}
+	switch s.Op {
+	case OpPut:
+		rec := e.stepRecord(s)
+		want := e.model.put(s)
+		ver, err := e.v.Put(s.Actor, rec)
+		got := classify(err)
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK && ver.Number != want.version {
+			return want, div("put version: vault %d, model %d", ver.Number, want.version)
+		}
+		return want, nil
+	case OpGet:
+		if s.Rot && e.plan.Durable {
+			e.inj.rot = true
+		}
+		want := e.model.get(s)
+		rec, ver, err := e.v.Get(s.Actor, s.Record)
+		if e.plan.Durable {
+			e.inj.rot = false // a denied read leaves the arm untouched; clear it
+		}
+		got := classify(err)
+		if want.flexible && want.kind == eOK && got != eOK {
+			// Bit rot: detecting the corruption (any error) is acceptable;
+			// returning wrong bytes silently would not be, and is caught below.
+			return want, nil
+		}
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK {
+			if ver.Number != want.version {
+				return want, div("get version: vault %d, model %d", ver.Number, want.version)
+			}
+			if rec.Body != want.body {
+				return want, div("get body: vault %q, model %q", rec.Body, want.body)
+			}
+		}
+		return want, nil
+	case OpGetVersion:
+		want := e.model.getVersion(s)
+		rec, ver, err := e.v.GetVersion(s.Actor, s.Record, s.Version)
+		got := classify(err)
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK {
+			if ver.Number != want.version {
+				return want, div("get_version number: vault %d, model %d", ver.Number, want.version)
+			}
+			if rec.Body != want.body {
+				return want, div("get_version body: vault %q, model %q", rec.Body, want.body)
+			}
+		}
+		return want, nil
+	case OpHistory:
+		want := e.model.history(s)
+		hist, err := e.v.History(s.Actor, s.Record)
+		got := classify(err)
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK {
+			if len(hist) != len(want.history) {
+				return want, div("history length: vault %d, model %d", len(hist), len(want.history))
+			}
+			for j, v := range hist {
+				if v.Number != uint64(j+1) || v.Author != want.history[j].Author {
+					return want, div("history[%d]: vault v%d by %s, model v%d by %s",
+						j, v.Number, v.Author, j+1, want.history[j].Author)
+				}
+			}
+		}
+		return want, nil
+	case OpCorrect:
+		rec := e.stepRecord(s)
+		want := e.model.correct(s)
+		ver, err := e.v.Correct(s.Actor, rec)
+		got := classify(err)
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK && ver.Number != want.version {
+			return want, div("correct version: vault %d, model %d", ver.Number, want.version)
+		}
+		return want, nil
+	case OpSearch, OpSearchAll:
+		conj := s.Op == OpSearchAll
+		want := e.model.search(s, conj)
+		var ids []string
+		var err error
+		if conj {
+			ids, err = e.v.SearchAll(s.Actor, s.Keywords...)
+		} else {
+			ids, err = e.v.Search(s.Actor, s.Keywords[0])
+		}
+		got := classify(err)
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK && !sameIDs(ids, want.ids) {
+			return want, div("search hits: vault %v, model %v", ids, want.ids)
+		}
+		return want, nil
+	case OpShred:
+		want := e.model.shred(s)
+		err := e.v.Shred(s.Actor, s.Record)
+		if got := classify(err); got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		return want, nil
+	case OpPlaceHold:
+		want := e.model.placeHold(s)
+		err := e.v.PlaceHold(s.Actor, s.Record, s.Reason)
+		if got := classify(err); got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		return want, nil
+	case OpReleaseHold:
+		want := e.model.releaseHold(s)
+		err := e.v.ReleaseHold(s.Actor, s.Record)
+		if got := classify(err); got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		return want, nil
+	case OpBreakGlass:
+		want := e.model.breakGlass(s)
+		err := e.v.BreakGlass(s.Actor, s.Reason, time.Duration(s.Minutes)*time.Minute)
+		if got := classify(err); got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		return want, nil
+	case OpDisclosures:
+		want := e.model.disclosures(s)
+		ds, err := e.v.AccountingOfDisclosures(s.Actor, s.MRN)
+		got := classify(err)
+		if got != want.kind {
+			return want, mismatch(want, got, err)
+		}
+		if got == eOK {
+			if d := compareDisclosures(ds, want.discl); d != "" {
+				return want, div("disclosures for %s: %s", s.MRN, d)
+			}
+		}
+		return want, nil
+	case OpPatientRecs:
+		want := e.model.patientRecords(s)
+		ids, err := e.v.PatientRecords(s.Actor, s.MRN)
+		if err != nil {
+			return want, div("patient_recs: unexpected error %v", err)
+		}
+		if !sameIDs(ids, want.ids) {
+			return want, div("patient_recs: vault %v, model %v", ids, want.ids)
+		}
+		return want, nil
+	}
+	return outcome{}, div("unknown op %q", s.Op)
+}
+
+// stepRecord builds the concrete ehr.Record a put/correct step submits.
+func (e *engine) stepRecord(s Step) ehr.Record {
+	return ehr.Record{
+		ID:        s.Record,
+		Patient:   s.Patient,
+		MRN:       s.MRN,
+		Category:  ehr.Category(s.Category),
+		Author:    s.Actor,
+		CreatedAt: e.model.now.Add(-time.Duration(s.Backdate) * time.Hour),
+		Title:     s.Title,
+		Body:      s.Body,
+		Codes:     s.Codes,
+	}
+}
+
+// classify maps a vault error to the model's outcome classes.
+func classify(err error) errKind {
+	switch {
+	case err == nil:
+		return eOK
+	case errors.Is(err, core.ErrDenied):
+		return eDenied
+	case errors.Is(err, core.ErrShredded):
+		return eShredded
+	case errors.Is(err, core.ErrNotFound):
+		return eNotFound
+	case errors.Is(err, core.ErrExists):
+		return eExists
+	case errors.Is(err, core.ErrIdentityChanged):
+		return eIdentity
+	case errors.Is(err, retention.ErrOnHold):
+		return eOnHold
+	case errors.Is(err, retention.ErrRetentionActive):
+		return eRetention
+	case strings.HasPrefix(err.Error(), "ehr:"):
+		return eInvalid
+	default:
+		return eBadInput
+	}
+}
+
+// sameIDs compares two ID slices treating nil and empty as equal.
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// compareDisclosures checks the vault's accounting against the model's,
+// field by field (timestamps excluded — they belong to the audit layer).
+func compareDisclosures(got []core.Disclosure, want []mDisclosure) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("length: vault %d, model %d", len(got), len(want))
+	}
+	for i, g := range got {
+		w := want[i]
+		if g.Actor != w.Actor || g.Action != w.Action || g.Record != w.Record ||
+			g.Version != w.Version || g.Outcome != w.Outcome || g.BreakGlass != w.BreakGlass {
+			return fmt.Sprintf("entry %d: vault %+v, model %+v", i, g, w)
+		}
+	}
+	return ""
+}
+
+// projectEvents reduces audit events to the fields the model tracks.
+func projectEvents(evs []audit.Event) []auEvent {
+	out := make([]auEvent, len(evs))
+	for i, e := range evs {
+		out[i] = auEvent{e.Actor, e.Action, e.Record, e.Version, e.Outcome}
+	}
+	return out
+}
+
+// auditQueryEvent is the decision event an AuditEvents/Provenance query
+// appends for itself.
+func auditQueryEvent(record string) auEvent {
+	return auEvent{auditor, audit.ActionVerify, record, 0, audit.OutcomeAllowed}
+}
+
+// deepCheck is the full-sweep cross-check: integrity verification under
+// every remembered head and checkpoint, registry observables, retention
+// sweep, every custody chain, every patient's disclosure accounting, and —
+// last, because everything above appends to it — the complete audit journal.
+func (e *engine) deepCheck(i int, s Step) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	m := e.model
+
+	rep, err := e.v.VerifyAll(e.heads, e.cps)
+	if err != nil {
+		return div("VerifyAll: %v", err)
+	}
+	m.noteVaultEvent(auEvent{m.name, audit.ActionVerify, "", 0, audit.OutcomeAllowed})
+	if rep.VersionsChecked != m.totalVersions() {
+		return div("VerifyAll versions: vault %d, model %d", rep.VersionsChecked, m.totalVersions())
+	}
+	if rep.RecordsChecked != len(m.records) {
+		return div("VerifyAll records: vault %d, model %d", rep.RecordsChecked, len(m.records))
+	}
+	if rep.HeadsChecked != len(e.heads) || rep.CheckpointsProven != len(e.cps) {
+		return div("VerifyAll remembered: %d/%d heads, %d/%d checkpoints",
+			rep.HeadsChecked, len(e.heads), rep.CheckpointsProven, len(e.cps))
+	}
+
+	if got, want := e.v.RecordIDs(), m.liveIDs(); !sameIDs(got, want) {
+		return div("record IDs: vault %v, model %v", got, want)
+	}
+	if got, want := e.v.ExpiredRecords(), m.expired(); !sameIDs(got, want) {
+		return div("retention sweep: vault %v, model %v", got, want)
+	}
+	if got, want := holdIDs(e.v), m.heldIDs(); !sameIDs(got, want) {
+		return div("legal holds: vault %v, model %v", got, want)
+	}
+	for _, id := range m.liveIDs() {
+		n, err := e.v.VersionCount(id)
+		if err != nil || n != len(m.records[id].Versions) {
+			return div("version count of %s: vault %d (%v), model %d", id, n, err, len(m.records[id].Versions))
+		}
+	}
+
+	for _, id := range m.allIDs() {
+		m.authorize(auditor, authz.ActAudit, audit.ActionVerify, id, 0, "")
+		chain, err := e.v.Provenance(auditor, id)
+		want := m.prov[id]
+		if len(want) == 0 {
+			// The whole chain was lost to a crash before any event synced;
+			// the vault must report it unknown, not invent one.
+			if !errors.Is(err, provenance.ErrUnknownRecord) {
+				return div("provenance of %s: want unknown-record, got %d events (%v)", id, len(chain), err)
+			}
+			continue
+		}
+		if err != nil {
+			return div("provenance of %s: %v", id, err)
+		}
+		if len(chain) != len(want) {
+			return div("provenance of %s: vault %d events, model %d", id, len(chain), len(want))
+		}
+		for j, ev := range chain {
+			if ev.Type != want[j] {
+				return div("provenance of %s[%d]: vault %s, model %s", id, j, ev.Type, want[j])
+			}
+		}
+	}
+
+	for _, mrn := range m.mrns() {
+		want := m.disclosures(Step{Op: OpDisclosures, Actor: auditor, MRN: mrn})
+		ds, err := e.v.AccountingOfDisclosures(auditor, mrn)
+		if want.kind != eOK {
+			return div("model cannot account for %s: %s", mrn, want.kind)
+		}
+		if err != nil {
+			return div("disclosures for %s: %v", mrn, err)
+		}
+		if d := compareDisclosures(ds, want.discl); d != "" {
+			return div("disclosures for %s: %s", mrn, d)
+		}
+	}
+
+	m.authorize(auditor, authz.ActAudit, audit.ActionVerify, "", 0, "")
+	evs, err := e.v.AuditEvents(auditor, audit.Query{})
+	if err != nil {
+		return div("audit query: %v", err)
+	}
+	got := projectEvents(evs)
+	if len(got) != len(m.journal) {
+		return div("audit journal length: vault %d, model %d", len(got), len(m.journal))
+	}
+	for j := range got {
+		if got[j] != m.journal[j] {
+			return div("audit journal[%d]: vault %+v, model %+v", j, got[j], m.journal[j])
+		}
+	}
+	for j, ev := range evs {
+		if ev.Seq != uint64(j) {
+			return div("audit seq[%d] = %d", j, ev.Seq)
+		}
+	}
+
+	// Remember this moment off-system: future sweeps must prove the logs
+	// still extend it.
+	e.heads = append(e.heads, e.v.Head())
+	e.cps = append(e.cps, e.v.AuditCheckpoint())
+	if len(e.heads) > 8 {
+		e.heads = e.heads[len(e.heads)-8:]
+	}
+	if len(e.cps) > 8 {
+		e.cps = e.cps[len(e.cps)-8:]
+	}
+	return nil
+}
+
+// holdIDs lists the vault's held record IDs, sorted.
+func holdIDs(v *core.Vault) []string {
+	holds := v.Retention().Holds()
+	ids := make([]string, 0, len(holds))
+	for _, h := range holds {
+		ids = append(ids, h.Record)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// crash simulates one or two power cuts around a remount cycle:
+//
+//  1. If N > 0, a crash latch is armed N mutating fs ops ahead and Close is
+//     called — the cut can land mid-snapshot or between the snapshot rename
+//     and the WAL checkpoint, the window WAL-replay idempotence protects.
+//     With N == 0 the vault is abandoned mid-flight (pure power cut).
+//  2. Recover on a KeepNone image (every unsynced byte gone), reconcile
+//     what legitimately could be lost, deep-check everything else.
+//  3. Close cleanly, cut again immediately — catching a snapshot whose
+//     rename outran its fsync — recover and deep-check once more.
+func (e *engine) crash(i int, s Step) *Divergence {
+	if s.N > 0 {
+		e.inj.crashAt = e.faulty.MutatingOps() + s.N - 1
+		_ = e.v.Close()
+	}
+	e.mem = e.mem.CrashImage(faultfs.KeepNone)
+	if d := e.reopenAndResync(i, s); d != nil {
+		return d
+	}
+	if d := e.deepCheck(i, s); d != nil {
+		return d
+	}
+	if err := e.v.Close(); err != nil {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf("clean close: %v", err)}
+	}
+	e.mem = e.mem.CrashImage(faultfs.KeepNone)
+	if d := e.reopenAndResync(i, s); d != nil {
+		return d
+	}
+	return e.deepCheck(i, s)
+}
+
+// reopenAndResync remounts after a power cut and reconciles the model with
+// what legitimately survived: break-glass grants die with the process,
+// remembered audit checkpoints may now outrun a truncated chain, and the
+// audit/provenance tails — synced only on Close — may be cut short. WAL-acked
+// state (versions, shreds, holds) gets no slack: the deep check that follows
+// requires it exactly.
+func (e *engine) reopenAndResync(i int, s Step) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	if err := e.open(); err != nil {
+		return div("recovery failed: %v", err)
+	}
+	m := e.model
+	m.clearGrants()
+	e.cps = nil
+	return e.resyncTails(i, s, m.allIDs(), nil, false)
+}
+
+// resyncTails reconciles the audit journal and the given custody chains
+// against the reopened vault (prefix-match or divergence). warn, when
+// non-nil, is a post-commit custody-failure event the vault may have
+// appended beyond the model's expectations (see reconcile); it is adopted
+// only if the persisted chain actually contains it at the expected spot.
+// lossy tolerates one silently dropped append (reconcile after an injected
+// fault); after a power cut only tail truncation is physically possible, so
+// the crash path keeps the strict prefix rule.
+func (e *engine) resyncTails(i int, s Step, provIDs []string, warn *auEvent, lossy bool) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	m := e.model
+	evs, err := e.v.AuditEvents(auditor, audit.Query{})
+	if err != nil {
+		return div("audit query after remount: %v", err)
+	}
+	got := projectEvents(evs)
+	if len(got) == 0 || got[len(got)-1] != auditQueryEvent("") {
+		return div("audit chain after remount does not end with the query's own event")
+	}
+	if chain := got[:len(got)-1]; warn != nil && len(chain) > len(m.journal) && chain[len(m.journal)] == *warn {
+		m.journal = append(m.journal, *warn)
+	}
+	resync := m.resyncJournal
+	if lossy {
+		resync = m.resyncJournalLossy
+	}
+	if pos, ok := resync(got[:len(got)-1]); !ok {
+		have := "<past end>"
+		if pos < len(got)-1 {
+			have = fmt.Sprintf("%+v", got[pos])
+		}
+		want := "<past end>"
+		if pos < len(m.journal) {
+			want = fmt.Sprintf("%+v", m.journal[pos])
+		}
+		return div("audit chain after remount is not a prefix of expectations (at %d: vault %s, model %s)", pos, have, want)
+	}
+	m.noteVaultEvent(auditQueryEvent(""))
+	for _, id := range provIDs {
+		m.authorize(auditor, authz.ActAudit, audit.ActionVerify, id, 0, "")
+		chain, err := e.v.Provenance(auditor, id)
+		var types []provenance.EventType
+		switch {
+		case err == nil:
+			for _, ev := range chain {
+				types = append(types, ev.Type)
+			}
+		case errors.Is(err, provenance.ErrUnknownRecord):
+			// nothing survived
+		default:
+			return div("provenance of %s after remount: %v", id, err)
+		}
+		if !m.resyncProv(id, types) {
+			return div("custody chain of %s after remount is not a prefix of expectations", id)
+		}
+	}
+	return nil
+}
+
+// reconcile handles a step an injected fault fired inside: the vault may
+// have wedged, the operation may have half-landed, and audit appends whose
+// errors the vault deliberately swallows may have been dropped. The disk is
+// kept (a process restart, not a power cut), the vault is remounted, and the
+// ambiguity is resolved by probing un-audited observables.
+func (e *engine) reconcile(i int, s Step, want outcome) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	if err := e.open(); err != nil {
+		return div("restart after fault failed: %v", err)
+	}
+	m := e.model
+	m.clearGrants()
+	e.cps = nil
+
+	// If the mutation itself committed, the fault may instead have landed in
+	// the post-commit custody append, which the vault reports as an
+	// OutcomeError audit event (provenanceWarn) rather than a failed call —
+	// an event the model did not predict. Offer it to resyncTails, which
+	// adopts it only if it is actually on the persisted chain.
+	var warn *auEvent
+	warnEvent := func(action audit.Action) *auEvent {
+		return &auEvent{Actor: s.Actor, Action: action, Record: s.Record, Outcome: audit.OutcomeError}
+	}
+	if want.kind == eOK {
+		switch s.Op {
+		case OpPut:
+			if _, err := e.v.VersionCount(s.Record); err != nil {
+				m.dropRecord(s.Record)
+			} else {
+				warn = warnEvent(audit.ActionCreate)
+			}
+		case OpCorrect:
+			n, err := e.v.VersionCount(s.Record)
+			switch {
+			case err != nil:
+				return div("record vanished across a non-crash restart: %v", err)
+			case n == int(want.version)-1:
+				m.popVersion(s.Record)
+			case n == int(want.version):
+				warn = warnEvent(audit.ActionCorrect)
+			default:
+				return div("correction half-landed: vault has %d versions, model %d", n, want.version)
+			}
+		case OpShred:
+			_, err := e.v.VersionCount(s.Record)
+			switch {
+			case err == nil:
+				m.unshred(s.Record)
+			case errors.Is(err, core.ErrShredded):
+				warn = warnEvent(audit.ActionDelete)
+			default:
+				return div("shred target unreadable after restart: %v", err)
+			}
+		case OpPlaceHold, OpReleaseHold:
+			m.setHolds(holdIDs(e.v))
+		}
+	}
+
+	// The probed resolution is only as durable as whatever the faulted op
+	// happened to sync: a mutation that errored after writing (but not
+	// syncing) its WAL entry is visible now yet would vanish in a later
+	// power cut, flipping the answer the model just adopted. Cycle through a
+	// clean close — which checkpoints and syncs everything — so the probed
+	// state is the durable state.
+	if err := e.v.Close(); err != nil {
+		return div("clean close after fault reconcile: %v", err)
+	}
+	if err := e.open(); err != nil {
+		return div("reopen after fault reconcile: %v", err)
+	}
+
+	var provIDs []string
+	if s.Record != "" {
+		if _, ok := m.prov[s.Record]; ok {
+			provIDs = []string{s.Record}
+		}
+	}
+	return e.resyncTails(i, s, provIDs, warn, true)
+}

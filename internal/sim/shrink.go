@@ -1,0 +1,69 @@
+package sim
+
+// Shrink minimizes a failing trace with ddmin-style delta debugging: it
+// repeatedly deletes chunks of steps (halves, then quarters, down to single
+// steps) and keeps any deletion after which the trace still fails. Because
+// every expectation is computed dynamically from the model as the shrunk
+// sequence executes — never baked into the trace — any subsequence is a
+// well-formed run, and the minimization converges to a 1-minimal repro:
+// removing any single remaining step makes the failure disappear.
+//
+// fails must be pure: same trace in, same verdict out. Replay is (that is
+// the point of the simulator), so the usual predicate is
+//
+//	func(t Trace) bool { return Replay(t, nil) != nil }
+//
+// maxChecks bounds the number of predicate calls (0 means a generous
+// default); logf, when non-nil, narrates progress.
+func Shrink(t Trace, fails func(Trace) bool, maxChecks int, logf func(format string, args ...any)) Trace {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if maxChecks <= 0 {
+		maxChecks = 2000
+	}
+	checks := 0
+	try := func(steps []Step) bool {
+		if checks >= maxChecks {
+			return false
+		}
+		checks++
+		return fails(Trace{Plan: t.Plan, Steps: steps})
+	}
+
+	steps := t.Steps
+	n := 2
+	for len(steps) >= 2 && checks < maxChecks {
+		chunk := (len(steps) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(steps); start += chunk {
+			end := start + chunk
+			if end > len(steps) {
+				end = len(steps)
+			}
+			cand := make([]Step, 0, len(steps)-(end-start))
+			cand = append(cand, steps[:start]...)
+			cand = append(cand, steps[end:]...)
+			if len(cand) > 0 && try(cand) {
+				steps = cand
+				logf("shrink: %d steps (removed %d..%d), %d checks", len(steps), start, end-1, checks)
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(steps) {
+				break
+			}
+			n *= 2
+			if n > len(steps) {
+				n = len(steps)
+			}
+		}
+	}
+	logf("shrink: done at %d steps after %d checks", len(steps), checks)
+	return Trace{Plan: t.Plan, Steps: steps}
+}
