@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"medvault/internal/obs"
+)
+
+// Machine-readable bench output. The human tables are for reading; CI wants
+// something it can archive and diff. writeBenchJSON serializes the run's
+// aggregate numbers — per-op and per-span quantiles read back from the same
+// process-wide registry the tables render, plus the tracer's lifetime
+// counters — to the first free BENCH_<n>.json in the working directory.
+// The schema is versioned ("medvault-bench/v1") and documented in
+// EXPERIMENTS.md; consumers must ignore unknown fields.
+
+// benchSchema versions the JSON layout. Bump it on any incompatible change.
+const benchSchema = "medvault-bench/v1"
+
+// benchReport is the top-level BENCH_<n>.json document.
+type benchReport struct {
+	Schema     string       `json:"schema"`
+	Generated  time.Time    `json:"generated"`
+	Mode       string       `json:"mode"`  // "experiments" or "scaling"
+	Scale      string       `json:"scale"` // "full" or "quick"
+	Backend    string       `json:"backend,omitempty"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Ops        []histRow    `json:"ops"`
+	Spans      []histRow    `json:"spans"`
+	Traces     traceCounts  `json:"traces"`
+	Scaling    []scalingRow `json:"scaling,omitempty"`
+}
+
+// histRow is one latency distribution: a vault op or a trace span.
+type histRow struct {
+	Name   string  `json:"name"`
+	Count  uint64  `json:"count"`
+	TotalS float64 `json:"total_s"`
+	MeanS  float64 `json:"mean_s"`
+	P50S   float64 `json:"p50_s"`
+	P95S   float64 `json:"p95_s"`
+	P99S   float64 `json:"p99_s"`
+}
+
+// traceCounts is the tracer's lifetime accounting for the run.
+type traceCounts struct {
+	Started    uint64 `json:"started"`
+	Finished   uint64 `json:"finished"`
+	SampledOut uint64 `json:"sampled_out"`
+}
+
+// scalingRow is one line of the -workers table.
+type scalingRow struct {
+	Workers      int     `json:"workers"`
+	Puts         uint64  `json:"puts"`
+	Seconds      float64 `json:"seconds"`
+	PutsPerSec   float64 `json:"puts_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	GroupCommits uint64  `json:"group_commits"`
+	WALAppends   uint64  `json:"wal_appends"`
+}
+
+// writeBenchJSON fills rep's registry-derived fields and writes it to the
+// first free BENCH_<n>.json, printing the chosen path.
+func writeBenchJSON(rep benchReport) error {
+	rep.Schema = benchSchema
+	rep.Generated = time.Now().UTC()
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Ops = histRows("medvault_core_op_seconds", "op")
+	rep.Spans = histRows("medvault_span_seconds", "span")
+	rep.Traces.Started, rep.Traces.Finished, rep.Traces.SampledOut = obs.DefaultTracer.Stats()
+	if rep.Ops == nil {
+		rep.Ops = []histRow{}
+	}
+	if rep.Spans == nil {
+		rep.Spans = []histRow{}
+	}
+
+	path, f, err := nextBenchFile()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("\nwrote %s (schema %s)\n", path, benchSchema)
+	return nil
+}
+
+// histRows reads one histogram family from the registry, merged by label.
+func histRows(metric, label string) []histRow {
+	for _, f := range obs.Default.Snapshot() {
+		if f.Name != metric {
+			continue
+		}
+		merged := mergeByLabel(f, label)
+		var rows []histRow
+		for _, name := range sortedKeys(merged) {
+			h := merged[name]
+			if h.Count == 0 {
+				continue
+			}
+			rows = append(rows, histRow{
+				Name: name, Count: h.Count, TotalS: h.Sum, MeanS: h.Mean(),
+				P50S: h.Quantile(0.50), P95S: h.Quantile(0.95), P99S: h.Quantile(0.99),
+			})
+		}
+		return rows
+	}
+	return nil
+}
+
+// nextBenchFile creates the first BENCH_<n>.json that does not already
+// exist, so successive runs in one directory never clobber each other.
+func nextBenchFile() (string, *os.File, error) {
+	for n := 1; n < 10000; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			return path, f, nil
+		}
+		if !os.IsExist(err) {
+			return "", nil, err
+		}
+	}
+	return "", nil, fmt.Errorf("no free BENCH_<n>.json slot")
+}

@@ -8,6 +8,13 @@
 //	medbench -scale quick     # CI-sized run
 //	medbench -e e1,e3         # selected experiments only
 //	medbench -workers 8       # concurrency scaling table instead of E1–E9
+//	medbench -json            # also write BENCH_<n>.json (schema medvault-bench/v1)
+//
+// -json writes the run's aggregate numbers — per-op and per-span latency
+// quantiles, trace counters, and (in -workers mode) the scaling rows — to
+// the first free BENCH_<n>.json in the working directory, so CI can archive
+// and diff runs without scraping the human-readable tables. The schema is
+// documented in EXPERIMENTS.md.
 package main
 
 import (
@@ -33,22 +40,23 @@ func main() {
 		scale   = flag.String("scale", "full", "'full' or 'quick'")
 		workers = flag.Int("workers", 0, "when > 0, run the throughput-vs-goroutines scaling table up to this many workers instead of the experiments")
 		backend = flag.String("backend", "memory", "vault backend for -workers: 'memory' or 'file' (file adds the WAL + fsync path, where group commit pays off)")
+		jsonOut = flag.Bool("json", false, "also write machine-readable results to the first free BENCH_<n>.json")
 	)
 	flag.Parse()
 	if *workers > 0 {
-		if err := runScaling(*workers, *backend, *scale); err != nil {
+		if err := runScaling(*workers, *backend, *scale, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "medbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := run(*which, *scale); err != nil {
+	if err := run(*which, *scale, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "medbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, scale string) error {
+func run(which, scale string, jsonOut bool) error {
 	if scale != "full" && scale != "quick" {
 		return fmt.Errorf("unknown scale %q", scale)
 	}
@@ -98,6 +106,9 @@ func run(which, scale string) error {
 		fmt.Printf("(%s completed in %s)\n\n", strings.ToUpper(id), time.Since(start).Round(time.Millisecond))
 	}
 	printMetricsBreakdown(os.Stdout)
+	if jsonOut {
+		return writeBenchJSON(benchReport{Mode: "experiments", Scale: scale})
+	}
 	return nil
 }
 
@@ -107,7 +118,7 @@ func run(which, scale string) error {
 // the process-wide metrics registry (counter deltas around each run), not
 // from harness-side bookkeeping, so the table exercises the same
 // observability surface medvaultd exposes on /metrics.
-func runScaling(maxWorkers int, backend, scale string) error {
+func runScaling(maxWorkers int, backend, scale string, jsonOut bool) error {
 	if backend != "memory" && backend != "file" {
 		return fmt.Errorf("unknown backend %q (want memory or file)", backend)
 	}
@@ -141,6 +152,7 @@ func runScaling(maxWorkers int, backend, scale string) error {
 	fmt.Println()
 
 	var baseline float64
+	var rows []scalingRow
 	for _, w := range series {
 		r, err := scalingRun(w, total, backend)
 		if err != nil {
@@ -149,6 +161,11 @@ func runScaling(maxWorkers int, backend, scale string) error {
 		if baseline == 0 {
 			baseline = r.rate
 		}
+		rows = append(rows, scalingRow{
+			Workers: w, Puts: r.puts, Seconds: r.secs,
+			PutsPerSec: r.rate, Speedup: r.rate / baseline,
+			GroupCommits: r.groupCommits, WALAppends: r.walAppends,
+		})
 		fmt.Printf("  %7d %8d %9.3f %10.0f %7.2fx", w, r.puts, r.secs, r.rate, r.rate/baseline)
 		if backend == "file" {
 			batching := float64(r.walAppends)
@@ -158,6 +175,11 @@ func runScaling(maxWorkers int, backend, scale string) error {
 			fmt.Printf(" %8d %9.1f", r.groupCommits, batching)
 		}
 		fmt.Println()
+	}
+	if jsonOut {
+		return writeBenchJSON(benchReport{
+			Mode: "scaling", Scale: scale, Backend: backend, Scaling: rows,
+		})
 	}
 	return nil
 }
@@ -323,29 +345,11 @@ func printMetricsBreakdown(w *os.File) {
 
 	// Vault operations, merged across outcomes per op label.
 	if f, ok := fams["medvault_core_op_seconds"]; ok {
-		byOp := map[string]obs.HistSnapshot{}
-		for _, s := range f.Series {
-			op := "unknown"
-			for _, l := range s.Labels {
-				if l.Key == "op" {
-					op = l.Value
-				}
-			}
-			if prev, seen := byOp[op]; seen {
-				byOp[op] = prev.Merge(*s.Hist)
-			} else {
-				byOp[op] = *s.Hist
-			}
-		}
-		ops := make([]string, 0, len(byOp))
-		for op := range byOp {
-			ops = append(ops, op)
-		}
-		sort.Strings(ops)
+		byOp := mergeByLabel(f, "op")
 		fmt.Fprintln(w, "\nVault operations (all outcomes)")
 		fmt.Fprintf(w, "  %-18s %9s %10s %9s %9s %9s %9s\n",
 			"op", "count", "total", "mean", "p50", "p95", "p99")
-		for _, op := range ops {
+		for _, op := range sortedKeys(byOp) {
 			h := byOp[op]
 			if h.Count == 0 {
 				continue
@@ -355,6 +359,57 @@ func printMetricsBreakdown(w *os.File) {
 				secs(h.Quantile(0.50)), secs(h.Quantile(0.95)), secs(h.Quantile(0.99)))
 		}
 	}
+
+	// Per-span breakdown from the tracer: the same numbers the mechanism
+	// table shows, but carved along the trace's span taxonomy — so the
+	// attribution matches what an operator sees on /debug/traces exactly.
+	if f, ok := fams["medvault_span_seconds"]; ok {
+		bySpan := mergeByLabel(f, "span")
+		fmt.Fprintln(w, "\nPer-span latency breakdown (traced operations)")
+		fmt.Fprintf(w, "  %-18s %9s %10s %9s %9s %9s %9s\n",
+			"span", "count", "total", "mean", "p50", "p95", "p99")
+		for _, name := range sortedKeys(bySpan) {
+			h := bySpan[name]
+			if h.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-18s %9d %10s %9s %9s %9s %9s\n",
+				name, h.Count, secs(h.Sum), secs(h.Mean()),
+				secs(h.Quantile(0.50)), secs(h.Quantile(0.95)), secs(h.Quantile(0.99)))
+		}
+	}
+}
+
+// mergeByLabel folds a histogram family's series by one label's value,
+// merging series that differ only in other labels (e.g. outcome).
+func mergeByLabel(f obs.FamilySnapshot, key string) map[string]obs.HistSnapshot {
+	out := map[string]obs.HistSnapshot{}
+	for _, s := range f.Series {
+		if s.Hist == nil {
+			continue
+		}
+		val := "unknown"
+		for _, l := range s.Labels {
+			if l.Key == key {
+				val = l.Value
+			}
+		}
+		if prev, seen := out[val]; seen {
+			out[val] = prev.Merge(*s.Hist)
+		} else {
+			out[val] = *s.Hist
+		}
+	}
+	return out
+}
+
+func sortedKeys(m map[string]obs.HistSnapshot) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // secs renders a duration measured in seconds at a bench-friendly precision.

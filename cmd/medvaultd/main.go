@@ -3,6 +3,7 @@
 // Usage:
 //
 //	medvaultd -dir DIR -key HEX [-addr :8600] [-tls-cert crt -tls-key key]
+//	          [-debug-addr 127.0.0.1:8601]
 //
 // The master key may also come from $MEDVAULT_KEY. Principals are managed
 // with 'medvault grant' (the server reads principals.conf at startup).
@@ -10,7 +11,16 @@
 // encryption on "the data pathways leading to and out", not just at rest.
 // GET /metrics exposes Prometheus-format counters and latency histograms
 // for every vault mechanism (core ops, HTTP routes, WAL fsync, blockstore
-// I/O, crypto, index, audit). See internal/httpapi for the route list.
+// I/O, crypto, index, audit), and GET /debug/traces serves per-request
+// span traces. See internal/httpapi for the route list.
+//
+// -debug-addr starts a second listener (bind it to loopback) carrying
+// net/http/pprof plus /debug/traces, so profiling and trace inspection
+// survive even when the main listener is saturated or firewalled.
+//
+// The server logs structured lines (log/slog, JSON to stderr): startup and
+// recovery summary, one line per request with route/status/duration/trace
+// ID, and shutdown progress.
 //
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // are drained (bounded by a timeout), then the vault is closed so the WAL
@@ -22,35 +32,38 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"medvault/internal/httpapi"
+	"medvault/internal/obs"
 	"medvault/internal/vaultcfg"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "vault directory (required)")
-		key     = flag.String("key", os.Getenv("MEDVAULT_KEY"), "master key, 64 hex chars (or $MEDVAULT_KEY)")
-		addr    = flag.String("addr", ":8600", "listen address")
-		name    = flag.String("name", "medvaultd", "system name recorded in custody chains")
-		tlsCert = flag.String("tls-cert", "", "TLS certificate file (enables HTTPS with -tls-key)")
-		tlsKey  = flag.String("tls-key", "", "TLS private key file")
+		dir       = flag.String("dir", "", "vault directory (required)")
+		key       = flag.String("key", os.Getenv("MEDVAULT_KEY"), "master key, 64 hex chars (or $MEDVAULT_KEY)")
+		addr      = flag.String("addr", ":8600", "listen address")
+		name      = flag.String("name", "medvaultd", "system name recorded in custody chains")
+		tlsCert   = flag.String("tls-cert", "", "TLS certificate file (enables HTTPS with -tls-key)")
+		tlsKey    = flag.String("tls-key", "", "TLS private key file")
+		debugAddr = flag.String("debug-addr", "", "optional debug listener (pprof + /debug/traces); bind to loopback")
 	)
 	flag.Parse()
-	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey); err != nil {
+	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey, *debugAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "medvaultd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
+func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string) error {
 	if dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
@@ -61,6 +74,7 @@ func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
 	if err != nil {
 		return err
 	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	// Bind before opening the vault so a bad address fails fast without
 	// churning the vault's recovery path.
 	ln, err := net.Listen("tcp", addr)
@@ -73,17 +87,43 @@ func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
 		return err
 	}
 	defer v.Close()
+	h := v.Health()
+	logger.Info("vault opened",
+		"dir", dir,
+		"records", h.LiveRecords,
+		"durable", h.Durable,
+		"recovery_ran", h.LastRecovery.Ran,
+		"snapshot_loaded", h.LastRecovery.SnapshotLoaded,
+		"wal_entries_replayed", h.LastRecovery.WALEntries)
 
 	// Slowloris-resistant timeouts: a client that trickles headers or never
 	// reads its response cannot pin a connection (and its vault resources)
 	// forever. Export streams are the largest responses; WriteTimeout is
 	// sized for them.
 	srv := &http.Server{
-		Handler:           httpapi.New(v),
+		Handler:           httpapi.New(v, httpapi.WithLogger(logger)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugSrv = &http.Server{
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			logger.Info("debug listener up", "addr", debugAddr)
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "err", err.Error())
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -91,11 +131,12 @@ func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
 	errc := make(chan error, 1)
 	go func() {
 		if tlsCert != "" {
-			log.Printf("medvaultd: serving vault %s (%d records) on %s (TLS)", dir, v.Len(), addr)
+			logger.Info("serving", "dir", dir, "records", v.Len(), "addr", addr, "tls", true)
 			errc <- srv.ServeTLS(ln, tlsCert, tlsKey)
 			return
 		}
-		log.Printf("medvaultd: serving vault %s (%d records) on %s (PLAINTEXT transport — use -tls-cert/-tls-key in production)", dir, v.Len(), addr)
+		logger.Warn("serving with PLAINTEXT transport — use -tls-cert/-tls-key in production",
+			"dir", dir, "records", v.Len(), "addr", addr, "tls", false)
 		errc <- srv.Serve(ln)
 	}()
 
@@ -104,16 +145,37 @@ func run(dir, key, addr, name string, tlsCert, tlsKey string) error {
 		return err
 	case <-ctx.Done():
 		stop() // restore default signal behavior: a second signal kills hard
-		log.Printf("medvaultd: signal received, draining requests")
+		logger.Info("signal received, draining requests")
 		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
+		if debugSrv != nil {
+			_ = debugSrv.Shutdown(shutCtx)
+		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
-		log.Printf("medvaultd: drained; closing vault")
+		if wh := v.Health(); wh.WALWedged {
+			logger.Error("WAL wedged at shutdown — vault was read-only", "err", wh.WALWedgeError)
+		}
+		logger.Info("drained; closing vault")
 		return nil // deferred v.Close checkpoints the WAL and snapshots
 	}
+}
+
+// debugMux carries the operator-only surfaces: pprof and the trace ring.
+// Neither belongs on the public listener in production, and pprof in
+// particular can stall the process (heap dumps, 30s CPU profiles), so both
+// live on their own loopback listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/traces", httpapi.TraceHandler(obs.DefaultTracer))
+	return mux
 }

@@ -19,6 +19,7 @@ package audit
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -84,6 +85,7 @@ type Event struct {
 	Version   uint64 // affected version (0 when not applicable)
 	Outcome   Outcome
 	Detail    string   // free-form context (never PHI; callers must not put PHI here)
+	Trace     string   // trace ID of the operation that produced the event ("" when untraced)
 	PrevHash  [32]byte // hash of the previous event (zero for Seq 0)
 	Hash      [32]byte // hash of this event's content || PrevHash
 	MAC       []byte   // HMAC over Hash under the audit key
@@ -216,6 +218,35 @@ func (l *Log) Append(e Event) (Event, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appendLocked(e)
+}
+
+// AppendCtx is Append stamping the event with the trace ID carried by ctx
+// (unless the caller set one) and recording an "audit.append" span. The trace
+// ID is hashed and MACed with the rest of the event, so the correlation
+// between an audit entry and its /debug/traces trace is itself tamper-evident.
+func (l *Log) AppendCtx(ctx context.Context, e Event) (Event, error) {
+	_, sp := obs.StartSpan(ctx, "audit.append")
+	if e.Trace == "" {
+		e.Trace = obs.TraceID(ctx)
+	}
+	out, err := l.Append(e)
+	sp.End(err)
+	return out, err
+}
+
+// AppendAllCtx is AppendAll with the same trace stamping and span recording
+// as AppendCtx, covering the whole adjacent batch with one span.
+func (l *Log) AppendAllCtx(ctx context.Context, events []Event) (Event, error) {
+	_, sp := obs.StartSpan(ctx, "audit.append")
+	id := obs.TraceID(ctx)
+	for i := range events {
+		if events[i].Trace == "" {
+			events[i].Trace = id
+		}
+	}
+	out, err := l.AppendAll(events)
+	sp.End(err)
+	return out, err
 }
 
 // AppendAll records the events consecutively under one lock acquisition:
@@ -385,17 +416,19 @@ func (l *Log) Events() []Event {
 	return append([]Event(nil), l.events...)
 }
 
-// eventHash hashes the event's content and PrevHash (not MAC).
+// eventHash hashes the event's content and PrevHash (not MAC). The domain
+// string is versioned with the field set: v2 added Trace, so a v1 chain
+// cannot be passed off as v2 (or vice versa) by zero-filling the new field.
 func eventHash(e Event) [32]byte {
 	var buf bytes.Buffer
-	buf.WriteString("medvault/audit-event/v1\x00")
+	buf.WriteString("medvault/audit-event/v2\x00")
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], e.Seq)
 	buf.Write(b[:])
 	binary.BigEndian.PutUint64(b[:], uint64(e.Timestamp.UnixNano()))
 	buf.Write(b[:])
 	// Length-prefix strings so field boundaries cannot be confused.
-	for _, s := range []string{e.Actor, string(e.Action), e.Record, string(e.Outcome), e.Detail} {
+	for _, s := range []string{e.Actor, string(e.Action), e.Record, string(e.Outcome), e.Detail, e.Trace} {
 		binary.BigEndian.PutUint32(b[:4], uint32(len(s)))
 		buf.Write(b[:4])
 		buf.WriteString(s)

@@ -11,11 +11,14 @@ import (
 // Persisted event layout (all integers big-endian):
 //
 //	u16 version | u64 seq | i64 unixNano | str actor | str action |
-//	str record | u64 recVersion | str outcome | str detail |
+//	str record | u64 recVersion | str outcome | str detail | str trace |
 //	32B prevHash | 32B hash | str mac
 //
-// where str is u32 length || bytes.
-const codecVersion = 1
+// where str is u32 length || bytes. Version 2 added the trace field; the
+// codec is strict (only the current version decodes) because the event hash
+// domain is versioned in lockstep — a v1 chain would fail verification under
+// v2 hashing anyway, so decoding it would only defer the error.
+const codecVersion = 2
 
 func encodeEvent(e Event) []byte {
 	var buf bytes.Buffer
@@ -28,6 +31,7 @@ func encodeEvent(e Event) []byte {
 	writeU64(&buf, e.Version)
 	writeStr(&buf, string(e.Outcome))
 	writeStr(&buf, e.Detail)
+	writeStr(&buf, e.Trace)
 	buf.Write(e.PrevHash[:])
 	buf.Write(e.Hash[:])
 	writeBytes(&buf, e.MAC)
@@ -54,6 +58,7 @@ func decodeEvent(data []byte) (Event, error) {
 		func() error { e.Version, err = readU64(r); return err },
 		func() error { s, err := readStr(r); e.Outcome = Outcome(s); return err },
 		func() error { s, err := readStr(r); e.Detail = s; return err },
+		func() error { s, err := readStr(r); e.Trace = s; return err },
 		func() error { _, err := io.ReadFull(r, e.PrevHash[:]); return err },
 		func() error { _, err := io.ReadFull(r, e.Hash[:]); return err },
 		func() error { b, err := readBytesField(r); e.MAC = b; return err },

@@ -12,9 +12,11 @@
 package blockstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"strconv"
 
 	"medvault/internal/obs"
 )
@@ -61,6 +63,35 @@ type Store interface {
 	Close() error
 }
 
+// AppendCtx is s.Append recording a "blockstore.append" span on the trace
+// carried by ctx. The helpers live here rather than on the interface so
+// every Store implementation is traced identically without widening the
+// storage contract.
+func AppendCtx(ctx context.Context, s Store, data []byte) (Ref, error) {
+	_, sp := obs.StartSpan(ctx, "blockstore.append")
+	sp.SetAttr("bytes", strconv.Itoa(len(data)))
+	ref, err := s.Append(data)
+	sp.End(err)
+	return ref, err
+}
+
+// ReadCtx is s.Read recording a "blockstore.read" span.
+func ReadCtx(ctx context.Context, s Store, ref Ref) ([]byte, error) {
+	_, sp := obs.StartSpan(ctx, "blockstore.read")
+	data, err := s.Read(ref)
+	sp.SetAttr("bytes", strconv.Itoa(len(data)))
+	sp.End(err)
+	return data, err
+}
+
+// SyncCtx is s.Sync recording a "blockstore.sync" span.
+func SyncCtx(ctx context.Context, s Store) error {
+	_, sp := obs.StartSpan(ctx, "blockstore.sync")
+	err := s.Sync()
+	sp.End(err)
+	return err
+}
+
 // Frame layout:
 //
 //	u8 magic (0xB1) | u32 payload length | u32 CRC-32C(payload) | payload
@@ -77,10 +108,10 @@ func checksum(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
 // of a backend share one set, labeled backend="file" or backend="memory",
 // so the /metrics view separates real disk traffic from in-memory traffic.
 type metrics struct {
-	appends, appendBytes      *obs.Counter
-	reads, readBytes          *obs.Counter
+	appends, appendBytes       *obs.Counter
+	reads, readBytes           *obs.Counter
 	appendSeconds, readSeconds *obs.Histogram
-	syncSeconds               *obs.Histogram
+	syncSeconds                *obs.Histogram
 }
 
 func newMetrics(backend string) *metrics {

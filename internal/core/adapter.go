@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"medvault/internal/authz"
 	"medvault/internal/blockstore"
 	"medvault/internal/ehr"
+	"medvault/internal/obs"
 	"medvault/internal/stores"
 )
 
@@ -44,35 +46,61 @@ func NewAdapter(v *Vault) (*Adapter, error) {
 // Name implements stores.Store.
 func (a *Adapter) Name() string { return "medvault" }
 
+// trace wraps one bench operation in a trace on the process tracer, so
+// experiment and scaling runs populate the same per-span histograms and
+// /debug/traces ring the HTTP server does. The trace machinery is part of
+// the measured pipeline by design: medvaultd pays it on every request, so
+// the bench must too.
+func trace(op string, fn func(ctx context.Context) error) error {
+	ctx, tr := obs.DefaultTracer.Start(context.Background(), op, "")
+	err := fn(ctx)
+	obs.DefaultTracer.Finish(tr, err)
+	return err
+}
+
 // Put implements stores.Store.
 func (a *Adapter) Put(rec ehr.Record) error {
-	_, err := a.v.Put(a.actor, rec)
-	if err != nil {
-		return mapErr(err)
-	}
-	return nil
+	return mapErr(trace("put", func(ctx context.Context) error {
+		_, err := a.v.PutCtx(ctx, a.actor, rec)
+		return err
+	}))
 }
 
 // Get implements stores.Store.
 func (a *Adapter) Get(id string) (ehr.Record, error) {
-	rec, _, err := a.v.Get(a.actor, id)
+	var rec ehr.Record
+	err := trace("get", func(ctx context.Context) error {
+		var err error
+		rec, _, err = a.v.GetCtx(ctx, a.actor, id)
+		return err
+	})
 	return rec, mapErr(err)
 }
 
 // Correct implements stores.Store.
 func (a *Adapter) Correct(rec ehr.Record) error {
-	_, err := a.v.Correct(a.actor, rec)
-	return mapErr(err)
+	return mapErr(trace("correct", func(ctx context.Context) error {
+		_, err := a.v.CorrectCtx(ctx, a.actor, rec)
+		return err
+	}))
 }
 
 // Search implements stores.Store.
 func (a *Adapter) Search(keyword string) ([]string, error) {
-	return a.v.Search(a.actor, keyword)
+	var out []string
+	err := trace("search", func(ctx context.Context) error {
+		var err error
+		out, err = a.v.SearchCtx(ctx, a.actor, keyword)
+		return err
+	})
+	return out, err
 }
 
 // Dispose implements stores.Store.
 func (a *Adapter) Dispose(id string) error {
-	return mapErr(a.v.Shred(a.actor, id))
+	return mapErr(trace("shred", func(ctx context.Context) error {
+		return a.v.ShredCtx(ctx, a.actor, id)
+	}))
 }
 
 // Verify implements stores.Store.

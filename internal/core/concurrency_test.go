@@ -193,6 +193,7 @@ func TestClosedVaultFailsFast(t *testing.T) {
 		t.Errorf("SanitizeMedia after Close = %v, want ErrClosed", err)
 	}
 }
+
 // TestConcurrentVaultOperations hammers one vault from many goroutines and
 // then checks full integrity: no lost versions, no broken chains.
 func TestConcurrentVaultOperations(t *testing.T) {

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"medvault/internal/audit"
 	"medvault/internal/authz"
+	"medvault/internal/obs"
 )
 
 // Disclosure is one access to a patient's EPHI, as reconstructed from the
@@ -29,11 +31,19 @@ type Disclosure struct {
 //
 // The query requires audit permission and is itself audited.
 func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error) {
+	return v.AccountingOfDisclosuresCtx(context.Background(), actor, mrn)
+}
+
+// AccountingOfDisclosuresCtx is AccountingOfDisclosures under a
+// caller-supplied context.
+func (v *Vault) AccountingOfDisclosuresCtx(ctx context.Context, actor, mrn string) (_ []Disclosure, retErr error) {
+	ctx, sp := obs.StartSpan(ctx, "core.disclosures")
+	defer func() { sp.End(retErr) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
 	defer v.gate.end()
-	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
 		return nil, err
 	}
 	if mrn == "" {
@@ -96,6 +106,16 @@ func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error)
 // (HIPAA right of access, the paper's "individuals have the right to
 // request correction" precondition).
 func (v *Vault) PatientRecords(actor, mrn string) ([]string, error) {
+	return v.PatientRecordsCtx(context.Background(), actor, mrn)
+}
+
+// PatientRecordsCtx is PatientRecords under a caller-supplied context. The
+// scan is pure in-memory registry work, so the span has no children; it
+// exists so patient-access requests are visible in traces like every other
+// operation.
+func (v *Vault) PatientRecordsCtx(ctx context.Context, actor, mrn string) (_ []string, retErr error) {
+	_, sp := obs.StartSpan(ctx, "core.patient_records")
+	defer func() { sp.End(retErr) }()
 	v.regMu.RLock()
 	type cand struct {
 		id  string

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"medvault/internal/audit"
@@ -42,12 +43,12 @@ func (v *Vault) Export(actor, id string) (ExportBundle, error) {
 	if err != nil {
 		return ExportBundle{}, err
 	}
-	if err := v.authorize(actor, authz.ActMigrate, audit.ActionMigrateOut, id, 0, string(st.category)); err != nil {
+	if err := v.authorize(context.Background(), actor, authz.ActMigrate, audit.ActionMigrateOut, id, 0, string(st.category)); err != nil {
 		return ExportBundle{}, err
 	}
 	bundle := ExportBundle{ID: id, Category: st.category}
 	for _, ver := range st.versions {
-		rec, err := v.readVersion(id, ver)
+		rec, err := v.readVersion(context.Background(), id, ver)
 		if err != nil {
 			return ExportBundle{}, fmt.Errorf("core: exporting %s v%d: %w", id, ver.Number, err)
 		}
@@ -94,7 +95,7 @@ func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string,
 		return err
 	}
 	defer v.gate.end()
-	if err := v.authorize(actor, authz.ActMigrate, auditAction, bundle.ID, 0, string(bundle.Category)); err != nil {
+	if err := v.authorize(context.Background(), actor, authz.ActMigrate, auditAction, bundle.ID, 0, string(bundle.Category)); err != nil {
 		return err
 	}
 	mu := v.stripes.forRecord(bundle.ID)
@@ -138,7 +139,7 @@ func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string,
 		if i > 0 {
 			wdek = nil
 		}
-		ver, err := v.appendVersion(ev.Record, ev.Version.Author, ev.Version.Number, dek, wdek)
+		ver, err := v.appendVersion(context.Background(), ev.Record, ev.Version.Author, ev.Version.Number, dek, wdek)
 		if err != nil {
 			v.ret.Forget(bundle.ID)
 			return err

@@ -3,6 +3,7 @@ package core
 import (
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
 // Concurrency architecture. The vault used to serialize every operation
@@ -41,6 +42,9 @@ const numStripes = 64
 type opGate struct {
 	mu     sync.RWMutex
 	closed bool
+	// closedFlag mirrors closed for lock-free readers (Health must answer
+	// while Close is draining, when the gate's lock is unavailable).
+	closedFlag atomic.Bool
 }
 
 // begin admits one operation; the caller must pair it with end. It fails
@@ -83,8 +87,12 @@ func (g *opGate) shut() bool {
 		return false
 	}
 	g.closed = true
+	g.closedFlag.Store(true)
 	return true
 }
+
+// isShut reports whether shut has run, without touching the gate's lock.
+func (g *opGate) isShut() bool { return g.closedFlag.Load() }
 
 // lockStripes is the per-record lock table. Striping bounds memory at a
 // fixed table instead of a lock per record; two records colliding on a

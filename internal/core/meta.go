@@ -344,6 +344,9 @@ func (v *Vault) writeSnapshotLocked() error {
 	return nil
 }
 
+// loadSnapshot restores metadata from the snapshot at path; a missing file
+// means a fresh vault, not an error. It records in v.recovery whether a
+// snapshot was found.
 func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
 	data, err := v.fs.ReadFile(path)
 	if err != nil {
@@ -352,6 +355,7 @@ func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
 		}
 		return fmt.Errorf("core: reading snapshot: %w", err)
 	}
+	v.recovery.SnapshotLoaded = true
 	r := bytes.NewReader(data)
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapMagic {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"time"
 
@@ -17,17 +18,21 @@ var (
 		"Live (non-shredded) records across vaults in this process.")
 	metProvenanceErrors = obs.Default.Counter("medvault_provenance_append_errors_total",
 		"Custody-chain appends that failed after the operation's state was already committed.")
+	metInflightOps = obs.Default.Gauge("medvault_core_inflight_ops",
+		"Vault operations currently executing in this process.")
 )
 
 // observeOp is deferred at the top of each vault operation:
 //
 //	defer observeOp("put", time.Now())(&err)
 //
-// The outer call captures the start time; the returned func reads the named
-// error at return time and records one latency observation and one outcome-
-// labeled count.
+// The outer call captures the start time and raises the in-flight gauge; the
+// returned func reads the named error at return time and records one latency
+// observation and one outcome-labeled count.
 func observeOp(op string, start time.Time) func(*error) {
+	metInflightOps.Add(1)
 	return func(errp *error) {
+		metInflightOps.Add(-1)
 		outcome := outcomeLabel(*errp)
 		obs.Default.Counter("medvault_core_ops_total",
 			"Vault operations by outcome.",
@@ -64,9 +69,9 @@ func outcomeLabel(err error) string {
 // and is Merkle-committed, so a retried Put would hit ErrExists — therefore
 // the gap is reported as a post-commit warning: an audit event with an error
 // outcome plus a counter alerting operators that a chain is incomplete.
-func (v *Vault) provenanceWarn(action audit.Action, actor, id string, err error) {
+func (v *Vault) provenanceWarn(ctx context.Context, action audit.Action, actor, id string, err error) {
 	metProvenanceErrors.Inc()
-	_, _ = v.aud.Append(audit.Event{
+	_, _ = v.aud.AppendCtx(ctx, audit.Event{
 		Actor: actor, Action: action, Record: id,
 		Outcome: audit.OutcomeError,
 		Detail:  "custody chain append failed after commit: " + err.Error(),

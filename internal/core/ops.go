@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -8,7 +9,9 @@ import (
 
 	"medvault/internal/audit"
 	"medvault/internal/authz"
+	"medvault/internal/blockstore"
 	"medvault/internal/ehr"
+	"medvault/internal/obs"
 	"medvault/internal/provenance"
 	"medvault/internal/vcrypto"
 )
@@ -18,7 +21,7 @@ import (
 // actor lacks permission. Break-glass elevations are additionally flagged
 // with their own audit event, so emergency access is always reviewable.
 // The caller holds the op gate (shared or exclusive).
-func (v *Vault) authorize(actor string, act authz.Action, auditAction audit.Action, recordID string, version uint64, category string) error {
+func (v *Vault) authorize(ctx context.Context, actor string, act authz.Action, auditAction audit.Action, recordID string, version uint64, category string) error {
 	d := v.auth.Check(actor, act, category)
 	outcome := audit.OutcomeAllowed
 	if !d.Allowed {
@@ -45,7 +48,7 @@ func (v *Vault) authorize(actor string, act authz.Action, auditAction audit.Acti
 			Detail:  d.Reason,
 		})
 	}
-	if _, err := v.aud.AppendAll(events); err != nil {
+	if _, err := v.aud.AppendAllCtx(ctx, events); err != nil {
 		return err
 	}
 	if !d.Allowed {
@@ -76,8 +79,8 @@ func (v *Vault) stateFor(id string) (*recordState, error) {
 
 // auditProbe records a failed lookup: unknown-record or unknown-version
 // probing is signal, so the attempt is written even though nothing else is.
-func (v *Vault) auditProbe(actor string, action audit.Action, id string, version uint64, err error) {
-	_, _ = v.aud.Append(audit.Event{
+func (v *Vault) auditProbe(ctx context.Context, actor string, action audit.Action, id string, version uint64, err error) {
+	_, _ = v.aud.AppendCtx(ctx, audit.Event{
 		Actor: actor, Action: action, Record: id, Version: version,
 		Outcome: audit.OutcomeError, Detail: err.Error(),
 	})
@@ -93,12 +96,12 @@ func (v *Vault) auditProbe(actor string, action audit.Action, id string, version
 // replays WAL entries in sequence order and reassigns leaf indexes as it
 // goes, so the WAL's entry order must equal the commitment log's leaf order
 // or every inclusion proof breaks after a restart.
-func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek vcrypto.Key, wrappedDEK []byte) (Version, error) {
-	ct, err := vcrypto.Seal(dek, ehr.Encode(rec), sealAAD(rec.ID, number))
+func (v *Vault) appendVersion(ctx context.Context, rec ehr.Record, author string, number uint64, dek vcrypto.Key, wrappedDEK []byte) (Version, error) {
+	ct, err := vcrypto.SealCtx(ctx, dek, ehr.Encode(rec), sealAAD(rec.ID, number))
 	if err != nil {
 		return Version{}, fmt.Errorf("core: sealing %s v%d: %w", rec.ID, number, err)
 	}
-	ref, err := v.blocks.Append(ct)
+	ref, err := blockstore.AppendCtx(ctx, v.blocks, ct)
 	if err != nil {
 		return Version{}, fmt.Errorf("core: storing %s v%d: %w", rec.ID, number, err)
 	}
@@ -114,16 +117,16 @@ func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek 
 		// it back. Make the ciphertext durable before the intent can become
 		// durable, or a crash after the WAL fsync acks a version whose bytes
 		// only ever existed in the page cache.
-		if err := v.blocks.Sync(); err != nil {
+		if err := blockstore.SyncCtx(ctx, v.blocks); err != nil {
 			return Version{}, fmt.Errorf("core: syncing ciphertext of %s v%d: %w", rec.ID, number, err)
 		}
 	}
 	var wait func() error
 	v.commitMu.Lock()
 	if v.metaWAL != nil {
-		_, wait = v.metaWAL.Enqueue(encodeVersionEntry(rec.ID, rec.Category, rec.MRN, ver, rec.CreatedAt, wrappedDEK))
+		_, wait = v.metaWAL.EnqueueCtx(ctx, encodeVersionEntry(rec.ID, rec.Category, rec.MRN, ver, rec.CreatedAt, wrappedDEK))
 	}
-	ver.LeafIndex = v.log.Append(leafData(rec.ID, number, ver.CtHash))
+	ver.LeafIndex = v.log.AppendCtx(ctx, leafData(rec.ID, number, ver.CtHash))
 	v.leafSeq.Add(1)
 	v.commitMu.Unlock()
 	if wait != nil {
@@ -134,15 +137,25 @@ func (v *Vault) appendVersion(rec ehr.Record, author string, number uint64, dek 
 			return Version{}, fmt.Errorf("core: logging %s v%d: %w", rec.ID, number, err)
 		}
 	}
-	v.idx.Add(rec.ID, rec.SearchText())
+	v.idx.AddCtx(ctx, rec.ID, rec.SearchText())
 	return ver, nil
 }
 
 // Put stores a new record on behalf of actor. The actor needs write
 // permission for the record's category. The record's own CreatedAt starts
 // its retention clock.
-func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
+func (v *Vault) Put(actor string, rec ehr.Record) (Version, error) {
+	return v.PutCtx(context.Background(), actor, rec)
+}
+
+// PutCtx is Put under a caller-supplied context: when ctx carries a trace
+// (httpapi, the bench adapter), every mechanism the Put touches — seal,
+// blockstore, WAL, Merkle, index, audit — records its span under a
+// "core.put" parent.
+func (v *Vault) PutCtx(ctx context.Context, actor string, rec ehr.Record) (_ Version, err error) {
 	defer observeOp("put", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.put")
+	defer func() { sp.End(err) }()
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
 	}
@@ -150,7 +163,7 @@ func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
 		return Version{}, err
 	}
 	defer v.gate.end()
-	if err := v.authorize(actor, authz.ActWrite, audit.ActionCreate, rec.ID, 1, string(rec.Category)); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActWrite, audit.ActionCreate, rec.ID, 1, string(rec.Category)); err != nil {
 		return Version{}, err
 	}
 	mu := v.stripes.forRecord(rec.ID)
@@ -175,7 +188,7 @@ func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
 		v.ret.Forget(rec.ID)
 		return Version{}, err
 	}
-	ver, err := v.appendVersion(rec, actor, 1, dek, wrapped)
+	ver, err := v.appendVersion(ctx, rec, actor, 1, dek, wrapped)
 	if err != nil {
 		v.ret.Forget(rec.ID)
 		return Version{}, err
@@ -196,15 +209,15 @@ func (v *Vault) Put(actor string, rec ehr.Record) (_ Version, err error) {
 	// an error for an existing record would strand the caller, whose retry
 	// can only get ErrExists.
 	if _, err := v.prov.Record(rec.ID, provenance.EventCreated, actor, ver.CtHash, ""); err != nil {
-		v.provenanceWarn(audit.ActionCreate, actor, rec.ID, err)
+		v.provenanceWarn(ctx, audit.ActionCreate, actor, rec.ID, err)
 	}
 	return ver, nil
 }
 
 // readVersion reads and verifies one version's content. Caller holds at
 // least the record's stripe read lock.
-func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
-	ct, err := v.blocks.Read(ver.Ref)
+func (v *Vault) readVersion(ctx context.Context, id string, ver Version) (ehr.Record, error) {
+	ct, err := blockstore.ReadCtx(ctx, v.blocks, ver.Ref)
 	if err != nil {
 		return ehr.Record{}, fmt.Errorf("%w: %s v%d: %v", ErrTampered, id, ver.Number, err)
 	}
@@ -218,7 +231,7 @@ func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
 		}
 		return ehr.Record{}, err
 	}
-	pt, err := vcrypto.Open(dek, ct, sealAAD(id, ver.Number))
+	pt, err := vcrypto.OpenCtx(ctx, dek, ct, sealAAD(id, ver.Number))
 	if err != nil {
 		return ehr.Record{}, fmt.Errorf("%w: %s v%d: %v", ErrTampered, id, ver.Number, err)
 	}
@@ -228,8 +241,15 @@ func (v *Vault) readVersion(id string, ver Version) (ehr.Record, error) {
 // Get returns the latest version of the record. The read — allowed or
 // denied — is audited. Get holds only the record's stripe read lock, so
 // reads of distinct records (and of the same record) run in parallel.
-func (v *Vault) Get(actor, id string) (_ ehr.Record, _ Version, err error) {
+func (v *Vault) Get(actor, id string) (ehr.Record, Version, error) {
+	return v.GetCtx(context.Background(), actor, id)
+}
+
+// GetCtx is Get under a caller-supplied context (see PutCtx).
+func (v *Vault) GetCtx(ctx context.Context, actor, id string) (_ ehr.Record, _ Version, err error) {
 	defer observeOp("get", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.get")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return ehr.Record{}, Version{}, err
 	}
@@ -239,20 +259,27 @@ func (v *Vault) Get(actor, id string) (_ ehr.Record, _ Version, err error) {
 	defer mu.RUnlock()
 	st, err := v.stateFor(id)
 	if err != nil {
-		v.auditProbe(actor, audit.ActionRead, id, 0, err)
+		v.auditProbe(ctx, actor, audit.ActionRead, id, 0, err)
 		return ehr.Record{}, Version{}, err
 	}
 	latest := st.versions[len(st.versions)-1]
-	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, latest.Number, string(st.category)); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActRead, audit.ActionRead, id, latest.Number, string(st.category)); err != nil {
 		return ehr.Record{}, Version{}, err
 	}
-	rec, err := v.readVersion(id, latest)
+	rec, err := v.readVersion(ctx, id, latest)
 	return rec, latest, err
 }
 
 // GetVersion returns a specific historical version (1-based).
-func (v *Vault) GetVersion(actor, id string, number uint64) (_ ehr.Record, _ Version, err error) {
+func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version, error) {
+	return v.GetVersionCtx(context.Background(), actor, id, number)
+}
+
+// GetVersionCtx is GetVersion under a caller-supplied context.
+func (v *Vault) GetVersionCtx(ctx context.Context, actor, id string, number uint64) (_ ehr.Record, _ Version, err error) {
 	defer observeOp("get_version", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.get_version")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return ehr.Record{}, Version{}, err
 	}
@@ -265,21 +292,28 @@ func (v *Vault) GetVersion(actor, id string, number uint64) (_ ehr.Record, _ Ver
 		err = fmt.Errorf("%w: %s has no version %d", ErrNotFound, id, number)
 	}
 	if err != nil {
-		v.auditProbe(actor, audit.ActionRead, id, number, err)
+		v.auditProbe(ctx, actor, audit.ActionRead, id, number, err)
 		return ehr.Record{}, Version{}, err
 	}
 	target := st.versions[number-1]
-	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, number, string(st.category)); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActRead, audit.ActionRead, id, number, string(st.category)); err != nil {
 		return ehr.Record{}, Version{}, err
 	}
-	rec, err := v.readVersion(id, target)
+	rec, err := v.readVersion(ctx, id, target)
 	return rec, target, err
 }
 
 // History returns the version metadata of the record, oldest first. It does
 // not decrypt content, but still requires (and audits) read permission.
-func (v *Vault) History(actor, id string) (_ []Version, err error) {
+func (v *Vault) History(actor, id string) ([]Version, error) {
+	return v.HistoryCtx(context.Background(), actor, id)
+}
+
+// HistoryCtx is History under a caller-supplied context.
+func (v *Vault) HistoryCtx(ctx context.Context, actor, id string) (_ []Version, err error) {
 	defer observeOp("history", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.history")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
@@ -289,10 +323,10 @@ func (v *Vault) History(actor, id string) (_ []Version, err error) {
 	defer mu.RUnlock()
 	st, err := v.stateFor(id)
 	if err != nil {
-		v.auditProbe(actor, audit.ActionRead, id, 0, err)
+		v.auditProbe(ctx, actor, audit.ActionRead, id, 0, err)
 		return nil, err
 	}
-	if err := v.authorize(actor, authz.ActRead, audit.ActionRead, id, 0, string(st.category)); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActRead, audit.ActionRead, id, 0, string(st.category)); err != nil {
 		return nil, err
 	}
 	return append([]Version(nil), st.versions...), nil
@@ -302,8 +336,15 @@ func (v *Vault) History(actor, id string) (_ []Version, err error) {
 // the prior version stays readable via GetVersion, and the correction is
 // committed, indexed, audited, and recorded in the custody chain. This is
 // the capability the paper finds missing from compliance WORM storage.
-func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
+func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
+	return v.CorrectCtx(context.Background(), actor, rec)
+}
+
+// CorrectCtx is Correct under a caller-supplied context.
+func (v *Vault) CorrectCtx(ctx context.Context, actor string, rec ehr.Record) (_ Version, err error) {
 	defer observeOp("correct", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.correct")
+	defer func() { sp.End(err) }()
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
 	}
@@ -318,7 +359,7 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
 	if err != nil {
 		return Version{}, err
 	}
-	if err := v.authorize(actor, authz.ActCorrect, audit.ActionCorrect, rec.ID, 0, string(st.category)); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActCorrect, audit.ActionCorrect, rec.ID, 0, string(st.category)); err != nil {
 		return Version{}, err
 	}
 	if rec.Category != st.category {
@@ -329,7 +370,7 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
 		return Version{}, err
 	}
 	number := uint64(len(st.versions)) + 1
-	ver, err := v.appendVersion(rec, actor, number, dek, nil)
+	ver, err := v.appendVersion(ctx, rec, actor, number, dek, nil)
 	if err != nil {
 		return Version{}, err
 	}
@@ -337,7 +378,7 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
 	// Committed and visible; custody failure is a post-commit warning (see
 	// Put) — the correction must not be reported as failed when it exists.
 	if _, err := v.prov.Record(rec.ID, provenance.EventCorrected, actor, ver.CtHash, ""); err != nil {
-		v.provenanceWarn(audit.ActionCorrect, actor, rec.ID, err)
+		v.provenanceWarn(ctx, audit.ActionCorrect, actor, rec.ID, err)
 	}
 	return ver, nil
 }
@@ -345,7 +386,7 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (_ Version, err error) {
 // searchAuthorized checks and audits search permission: the actor may search
 // if any of their roles permits ActSearch on any category. The caller holds
 // the op gate.
-func (v *Vault) searchAuthorized(actor string) error {
+func (v *Vault) searchAuthorized(ctx context.Context, actor string) error {
 	allowed := v.auth.Check(actor, authz.ActSearch, "").Allowed
 	for _, cat := range ehr.Categories() {
 		if allowed {
@@ -359,7 +400,7 @@ func (v *Vault) searchAuthorized(actor string) error {
 	}
 	// The keyword itself is PHI-adjacent and is deliberately NOT written to
 	// the audit log — only the fact and outcome of the search.
-	if _, err := v.aud.Append(audit.Event{
+	if _, err := v.aud.AppendCtx(ctx, audit.Event{
 		Actor: actor, Action: audit.ActionSearch, Outcome: outcome,
 	}); err != nil {
 		return err
@@ -402,31 +443,45 @@ func (v *Vault) filterSearchHits(actor string, hits []string) []string {
 // Search returns the IDs of records matching keyword that the actor is
 // allowed to read — results outside the actor's categories are filtered,
 // enforcing minimum-necessary even through search.
-func (v *Vault) Search(actor, keyword string) (_ []string, err error) {
+func (v *Vault) Search(actor, keyword string) ([]string, error) {
+	return v.SearchCtx(context.Background(), actor, keyword)
+}
+
+// SearchCtx is Search under a caller-supplied context.
+func (v *Vault) SearchCtx(ctx context.Context, actor, keyword string) (_ []string, err error) {
 	defer observeOp("search", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.search")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
 	defer v.gate.end()
-	if err := v.searchAuthorized(actor); err != nil {
+	if err := v.searchAuthorized(ctx, actor); err != nil {
 		return nil, err
 	}
-	return v.filterSearchHits(actor, v.idx.Search(keyword)), nil
+	return v.filterSearchHits(actor, v.idx.SearchCtx(ctx, keyword)), nil
 }
 
 // SearchAll returns the IDs of readable records containing every keyword
 // (conjunctive search), with the same authorization and filtering semantics
 // as Search.
-func (v *Vault) SearchAll(actor string, keywords ...string) (_ []string, err error) {
+func (v *Vault) SearchAll(actor string, keywords ...string) ([]string, error) {
+	return v.SearchAllCtx(context.Background(), actor, keywords...)
+}
+
+// SearchAllCtx is SearchAll under a caller-supplied context.
+func (v *Vault) SearchAllCtx(ctx context.Context, actor string, keywords ...string) (_ []string, err error) {
 	defer observeOp("search", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.search")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
 	defer v.gate.end()
-	if err := v.searchAuthorized(actor); err != nil {
+	if err := v.searchAuthorized(ctx, actor); err != nil {
 		return nil, err
 	}
-	return v.filterSearchHits(actor, v.idx.SearchAll(keywords...)), nil
+	return v.filterSearchHits(actor, v.idx.SearchAllCtx(ctx, keywords...)), nil
 }
 
 // Shred securely deletes the record: its data key is destroyed, its index
@@ -435,8 +490,15 @@ func (v *Vault) SearchAll(actor string, keywords ...string) (_ []string, err err
 // in place. The ciphertext remains in the append-only log — permanently
 // unreadable — and the Merkle history of the record's existence is
 // preserved, as disposition accountability requires.
-func (v *Vault) Shred(actor, id string) (err error) {
+func (v *Vault) Shred(actor, id string) error {
+	return v.ShredCtx(context.Background(), actor, id)
+}
+
+// ShredCtx is Shred under a caller-supplied context.
+func (v *Vault) ShredCtx(ctx context.Context, actor, id string) (err error) {
 	defer observeOp("shred", time.Now())(&err)
+	ctx, sp := obs.StartSpan(ctx, "core.shred")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return err
 	}
@@ -448,11 +510,11 @@ func (v *Vault) Shred(actor, id string) (err error) {
 	if err != nil {
 		return err
 	}
-	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, id, 0, string(st.category)); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActShred, audit.ActionDelete, id, 0, string(st.category)); err != nil {
 		return err
 	}
 	if err := v.ret.CanDispose(id); err != nil {
-		_, _ = v.aud.Append(audit.Event{
+		_, _ = v.aud.AppendCtx(ctx, audit.Event{
 			Actor: actor, Action: audit.ActionDelete, Record: id,
 			Outcome: audit.OutcomeDenied, Detail: err.Error(),
 		})
@@ -462,21 +524,21 @@ func (v *Vault) Shred(actor, id string) (err error) {
 		// The stripe orders this entry after the record's version entries,
 		// which is all replay requires; no Merkle leaf is involved, so the
 		// commit sequencer is not.
-		if _, err := v.metaWAL.Append(encodeShredEntry(id)); err != nil {
+		if _, err := v.metaWAL.AppendCtx(ctx, encodeShredEntry(id)); err != nil {
 			return fmt.Errorf("core: logging shred of %s: %w", id, err)
 		}
 	}
 	if err := v.keys.Shred(id); err != nil {
 		return err
 	}
-	v.idx.Remove(id)
+	v.idx.RemoveCtx(ctx, id)
 	v.ret.Forget(id)
 	st.shredded.Store(true)
 	metLiveRecords.Add(-1)
 	// The key is destroyed and the shred is WAL-logged — it has happened;
 	// a custody failure here is the same post-commit warning as in Put.
 	if _, err := v.prov.Record(id, provenance.EventShredded, actor, [32]byte{}, ""); err != nil {
-		v.provenanceWarn(audit.ActionDelete, actor, id, err)
+		v.provenanceWarn(ctx, audit.ActionDelete, actor, id, err)
 	}
 	return nil
 }
@@ -486,6 +548,13 @@ func (v *Vault) Shred(actor, id string) (err error) {
 // and both placement and release are audited. Requires disposition (shred)
 // permission — holds govern destruction.
 func (v *Vault) PlaceHold(actor, id, reason string) error {
+	return v.PlaceHoldCtx(context.Background(), actor, id, reason)
+}
+
+// PlaceHoldCtx is PlaceHold under a caller-supplied context.
+func (v *Vault) PlaceHoldCtx(ctx context.Context, actor, id, reason string) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "core.place_hold")
+	defer func() { sp.End(err) }()
 	if reason == "" {
 		return fmt.Errorf("core: a legal hold requires a reason")
 	}
@@ -499,19 +568,19 @@ func (v *Vault) PlaceHold(actor, id, reason string) error {
 	if _, err := v.stateFor(id); err != nil {
 		return err
 	}
-	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
 		return err
 	}
 	placed := v.now()
 	if v.metaWAL != nil {
-		if _, err := v.metaWAL.Append(encodeHoldEntry(id, reason, placed)); err != nil {
+		if _, err := v.metaWAL.AppendCtx(ctx, encodeHoldEntry(id, reason, placed)); err != nil {
 			return fmt.Errorf("core: logging hold on %s: %w", id, err)
 		}
 	}
 	if err := v.ret.PlaceHoldAt(id, reason, placed); err != nil {
 		return err
 	}
-	_, _ = v.aud.Append(audit.Event{
+	_, _ = v.aud.AppendCtx(ctx, audit.Event{
 		Actor: actor, Action: audit.ActionPolicy, Record: id,
 		Outcome: audit.OutcomeAllowed, Detail: "legal hold placed: " + reason,
 	})
@@ -520,6 +589,13 @@ func (v *Vault) PlaceHold(actor, id, reason string) error {
 
 // ReleaseHold lifts a legal hold; the release is WAL-logged and audited.
 func (v *Vault) ReleaseHold(actor, id string) error {
+	return v.ReleaseHoldCtx(context.Background(), actor, id)
+}
+
+// ReleaseHoldCtx is ReleaseHold under a caller-supplied context.
+func (v *Vault) ReleaseHoldCtx(ctx context.Context, actor, id string) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "core.release_hold")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return err
 	}
@@ -527,16 +603,16 @@ func (v *Vault) ReleaseHold(actor, id string) error {
 	mu := v.stripes.forRecord(id)
 	mu.Lock()
 	defer mu.Unlock()
-	if err := v.authorize(actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActShred, audit.ActionPolicy, id, 0, ""); err != nil {
 		return err
 	}
 	if v.metaWAL != nil {
-		if _, err := v.metaWAL.Append(encodeReleaseEntry(id)); err != nil {
+		if _, err := v.metaWAL.AppendCtx(ctx, encodeReleaseEntry(id)); err != nil {
 			return fmt.Errorf("core: logging hold release on %s: %w", id, err)
 		}
 	}
 	v.ret.ReleaseHold(id)
-	_, _ = v.aud.Append(audit.Event{
+	_, _ = v.aud.AppendCtx(ctx, audit.Event{
 		Actor: actor, Action: audit.ActionPolicy, Record: id,
 		Outcome: audit.OutcomeAllowed, Detail: "legal hold released",
 	})
@@ -546,6 +622,13 @@ func (v *Vault) ReleaseHold(actor, id string) error {
 // BreakGlass grants the actor time-boxed emergency access and records the
 // grant in the audit trail.
 func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
+	return v.BreakGlassCtx(context.Background(), actor, reason, duration)
+}
+
+// BreakGlassCtx is BreakGlass under a caller-supplied context.
+func (v *Vault) BreakGlassCtx(ctx context.Context, actor, reason string, duration time.Duration) (err error) {
+	ctx, sp := obs.StartSpan(ctx, "core.break_glass")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return err
 	}
@@ -554,7 +637,7 @@ func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
 	if err != nil {
 		return err
 	}
-	_, err = v.aud.Append(audit.Event{
+	_, err = v.aud.AppendCtx(ctx, audit.Event{
 		Actor:   actor,
 		Action:  audit.ActionBreakGlass,
 		Outcome: audit.OutcomeAllowed,
@@ -566,11 +649,18 @@ func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
 // AuditEvents returns audit events matching q; the query itself requires
 // (and is recorded with) audit permission.
 func (v *Vault) AuditEvents(actor string, q audit.Query) ([]audit.Event, error) {
+	return v.AuditEventsCtx(context.Background(), actor, q)
+}
+
+// AuditEventsCtx is AuditEvents under a caller-supplied context.
+func (v *Vault) AuditEventsCtx(ctx context.Context, actor string, q audit.Query) (_ []audit.Event, err error) {
+	ctx, sp := obs.StartSpan(ctx, "core.audit_events")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
 	defer v.gate.end()
-	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActAudit, audit.ActionVerify, "", 0, ""); err != nil {
 		return nil, err
 	}
 	return v.aud.Search(q), nil
@@ -578,11 +668,18 @@ func (v *Vault) AuditEvents(actor string, q audit.Query) ([]audit.Event, error) 
 
 // Provenance returns the record's custody chain; requires audit permission.
 func (v *Vault) Provenance(actor, id string) ([]provenance.Event, error) {
+	return v.ProvenanceCtx(context.Background(), actor, id)
+}
+
+// ProvenanceCtx is Provenance under a caller-supplied context.
+func (v *Vault) ProvenanceCtx(ctx context.Context, actor, id string) (_ []provenance.Event, err error) {
+	ctx, sp := obs.StartSpan(ctx, "core.provenance")
+	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
 	}
 	defer v.gate.end()
-	if err := v.authorize(actor, authz.ActAudit, audit.ActionVerify, id, 0, ""); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActAudit, audit.ActionVerify, id, 0, ""); err != nil {
 		return nil, err
 	}
 	return v.prov.Chain(id)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"medvault/internal/audit"
 	"medvault/internal/authz"
 	"medvault/internal/merkle"
+	"medvault/internal/obs"
 	"medvault/internal/vcrypto"
 )
 
@@ -32,6 +34,14 @@ type VersionProof struct {
 // It requires (and audits) read permission: the proof reveals the record's
 // existence and write history even though it reveals no content.
 func (v *Vault) ProveVersion(actor, id string, number uint64) (VersionProof, error) {
+	return v.ProveVersionCtx(context.Background(), actor, id, number)
+}
+
+// ProveVersionCtx is ProveVersion under a caller-supplied context, recording
+// a "core.prove_version" span with the Merkle proof as a child span.
+func (v *Vault) ProveVersionCtx(ctx context.Context, actor, id string, number uint64) (_ VersionProof, retErr error) {
+	ctx, sp := obs.StartSpan(ctx, "core.prove_version")
+	defer func() { sp.End(retErr) }()
 	if err := v.gate.begin(); err != nil {
 		return VersionProof{}, err
 	}
@@ -53,10 +63,10 @@ func (v *Vault) ProveVersion(actor, id string, number uint64) (VersionProof, err
 	if err != nil {
 		return VersionProof{}, err
 	}
-	if err := v.authorize(actor, authz.ActRead, audit.ActionVerify, id, number, category); err != nil {
+	if err := v.authorize(ctx, actor, authz.ActRead, audit.ActionVerify, id, number, category); err != nil {
 		return VersionProof{}, err
 	}
-	proof, size, err := v.log.ProveInclusion(target.LeafIndex)
+	proof, size, err := v.log.ProveInclusionCtx(ctx, target.LeafIndex)
 	if err != nil {
 		return VersionProof{}, fmt.Errorf("core: proving %s v%d: %w", id, number, err)
 	}

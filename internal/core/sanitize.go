@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"sort"
@@ -41,7 +42,7 @@ func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err e
 		return 0, 0, err
 	}
 	defer v.gate.endExclusive()
-	if err := v.authorize(actor, authz.ActShred, audit.ActionDelete, "", 0, ""); err != nil {
+	if err := v.authorize(context.Background(), actor, authz.ActShred, audit.ActionDelete, "", 0, ""); err != nil {
 		return 0, 0, err
 	}
 	before := v.blocks.StorageBytes()

@@ -139,7 +139,8 @@ type Vault struct {
 	metaWAL  *wal.Log
 	dir      string
 	fs       faultfs.FS
-	masterFP string // master key fingerprint, for manifests
+	masterFP string       // master key fingerprint, for manifests
+	recovery RecoveryInfo // what the last Open rebuilt (durable vaults)
 
 	// auditStore and provStore are retained so Close can release their
 	// file handles (the audit and provenance logs do not own closing them).
@@ -236,25 +237,71 @@ func Open(cfg Config) (*Vault, error) {
 	return v, nil
 }
 
+// RecoveryInfo describes what the last Open of a durable vault rebuilt.
+// Memory-backed vaults never run recovery, so Ran stays false.
+type RecoveryInfo struct {
+	Ran            bool // a durable Open executed the recovery path
+	SnapshotLoaded bool // a metadata snapshot existed and was restored
+	WALEntries     int  // WAL entries replayed on top of the snapshot
+	RecordsLive    int  // live records immediately after recovery
+}
+
 // recover loads the metadata snapshot and replays the WAL, rebuilding the
 // records table, key store, Merkle log, and index.
 func (v *Vault) recover(master vcrypto.Key) error {
+	v.recovery.Ran = true
 	snapPath := filepath.Join(v.dir, "meta.snap")
 	if err := v.loadSnapshot(master, snapPath); err != nil {
 		return err
 	}
 	walPath := filepath.Join(v.dir, "meta.wal")
 	w, err := wal.OpenFS(v.fs, walPath, func(e wal.Entry) error {
+		v.recovery.WALEntries++
 		return v.applyWALEntry(e.Data)
 	})
 	if err != nil {
 		return fmt.Errorf("core: recovering metadata WAL: %w", err)
 	}
 	v.metaWAL = w
+	v.recovery.RecordsLive = v.Len()
 	// The live-records gauge is process-local; account for what recovery
 	// just rebuilt so /metrics is truthful from the first scrape.
-	metLiveRecords.Add(float64(v.Len()))
+	metLiveRecords.Add(float64(v.recovery.RecordsLive))
 	return nil
+}
+
+// HealthStatus is a point-in-time report of vault liveness for /healthz.
+// A vault is serving when Open is true and WALWedged is false.
+type HealthStatus struct {
+	Open          bool         // admitting operations (Close has not run)
+	Durable       bool         // file-backed with a metadata WAL
+	WALWedged     bool         // the metadata WAL refused an fsync and halted
+	WALWedgeError string       // the wedging error, when WALWedged
+	WALQueueDepth int          // group-commit waiters not yet fsynced
+	InFlightOps   int          // vault operations currently executing
+	LiveRecords   int          // non-shredded records
+	LastRecovery  RecoveryInfo // what the last durable Open rebuilt
+}
+
+// Health reports the vault's current liveness. It takes no vault locks
+// beyond the registry read lock, so it answers even while Close is draining
+// or the WAL is wedged — exactly the situations a health probe exists for.
+func (v *Vault) Health() HealthStatus {
+	h := HealthStatus{
+		Open:         !v.gate.isShut(),
+		Durable:      v.metaWAL != nil,
+		InFlightOps:  int(metInflightOps.Value()),
+		LiveRecords:  v.Len(),
+		LastRecovery: v.recovery,
+	}
+	if v.metaWAL != nil {
+		if err := v.metaWAL.Wedged(); err != nil {
+			h.WALWedged = true
+			h.WALWedgeError = err.Error()
+		}
+		h.WALQueueDepth = v.metaWAL.QueueDepth()
+	}
+	return h
 }
 
 // Authz returns the vault's authorizer for role and principal management.

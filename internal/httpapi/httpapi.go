@@ -29,14 +29,24 @@
 //	GET    /patients/{mrn}/records       patient's records visible to actor
 //	GET    /patients/{mrn}/disclosures   HIPAA accounting of disclosures
 //	GET    /records/{id}/versions/{n}/proof  third-party-verifiable commitment proof
+//	GET    /debug/traces                 retained request traces (op=, min=, limit=)
+//
+// Every vault route runs under a request trace: the middleware honors a
+// well-formed X-Request-ID header (or mints an ID), threads the trace
+// through the request context so each compliance mechanism records a child
+// span, echoes the ID in the X-Request-ID response header, and stamps it
+// into every audit entry the request produces. GET /debug/traces retrieves
+// retained traces by the same ID.
 package httpapi
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"medvault/internal/audit"
@@ -49,15 +59,42 @@ import (
 // actorHeader names the authenticated principal.
 const actorHeader = "X-MedVault-Actor"
 
+// requestIDHeader carries the trace ID: honored on requests (a well-formed
+// caller-supplied ID is adopted as the trace ID) and always set on responses,
+// so a client can quote the ID back when filing a report and an operator can
+// find the exact trace and audit entries it names.
+const requestIDHeader = "X-Request-ID"
+
 // Server serves a vault over HTTP.
 type Server struct {
-	vault *core.Vault
-	mux   *http.ServeMux
+	vault  *core.Vault
+	mux    *http.ServeMux
+	tracer *obs.Tracer
+	logger *slog.Logger // nil disables request logging
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger enables structured request logging: one line per request with
+// method, route pattern, status, duration, and trace ID. Paths with PHI-
+// adjacent parameters are never logged — only the route pattern is.
+func WithLogger(l *slog.Logger) Option {
+	return func(s *Server) { s.logger = l }
+}
+
+// WithTracer overrides the tracer (tests use private tracers; medvaultd and
+// the default share obs.DefaultTracer).
+func WithTracer(t *obs.Tracer) Option {
+	return func(s *Server) { s.tracer = t }
 }
 
 // New builds a Server around v.
-func New(v *core.Vault) *Server {
-	s := &Server{vault: v, mux: http.NewServeMux()}
+func New(v *core.Vault, opts ...Option) *Server {
+	s := &Server{vault: v, mux: http.NewServeMux(), tracer: obs.DefaultTracer}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /records", s.handleCreate)
 	s.mux.HandleFunc("GET /records/{id}", s.handleGet)
@@ -78,6 +115,7 @@ func New(v *core.Vault) *Server {
 	s.mux.HandleFunc("PUT /records/{id}/hold", s.handlePlaceHold)
 	s.mux.HandleFunc("DELETE /records/{id}/hold", s.handleReleaseHold)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/traces", TraceHandler(s.tracer))
 	return s
 }
 
@@ -97,6 +135,14 @@ func (w *statusWriter) WriteHeader(code int) {
 // route. The matched mux pattern (e.g. "GET /records/{id}") is the route
 // label, so path parameters never create new series (and record IDs, which
 // are PHI-adjacent, never reach the metrics output).
+//
+// Vault routes also run under a trace: the middleware starts it (adopting a
+// well-formed X-Request-ID if the caller sent one), threads it through
+// r.Context() so every mechanism the request touches records a child span,
+// echoes the ID in the X-Request-ID response header, and finishes the trace
+// into the tracer's ring where /debug/traces can retrieve it. Observability
+// endpoints (/healthz, /metrics, /debug/*) are not traced — they would bury
+// the traces that matter under scrape noise.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	_, route := s.mux.Handler(r)
@@ -104,13 +150,42 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		route = "unmatched"
 	}
 	sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-	s.mux.ServeHTTP(sw, r)
+	var traceID string
+	if traced(route) {
+		ctx, tr := s.tracer.Start(r.Context(), route, r.Header.Get(requestIDHeader))
+		traceID = tr.ID
+		w.Header().Set(requestIDHeader, tr.ID)
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		var err error
+		if sw.status >= 400 {
+			err = fmt.Errorf("HTTP %d", sw.status)
+		}
+		s.tracer.Finish(tr, err)
+	} else {
+		s.mux.ServeHTTP(sw, r)
+	}
 	obs.Default.Counter("medvault_http_requests_total",
 		"HTTP requests by route pattern and status class.",
 		obs.L("route", route), obs.L("status", statusClass(sw.status))).Inc()
 	obs.Default.Histogram("medvault_http_request_seconds",
 		"HTTP request latency by route pattern.", obs.LatencyBuckets,
 		obs.L("route", route)).ObserveSince(start)
+	if s.logger != nil {
+		s.logger.Info("http request",
+			"method", r.Method,
+			"route", route,
+			"status", sw.status,
+			"duration_ms", float64(time.Since(start).Microseconds())/1000,
+			"trace", traceID)
+	}
+}
+
+// traced reports whether a route runs under a trace. Observability and
+// liveness endpoints are exempt: they are scraped constantly and touch no
+// compliance mechanism.
+func traced(route string) bool {
+	return route != "GET /healthz" && route != "GET /metrics" &&
+		!strings.HasPrefix(route, "GET /debug/")
 }
 
 // statusClass buckets a status code into 2xx/3xx/4xx/5xx.
@@ -231,11 +306,52 @@ func fromRecord(rec ehr.Record, ver core.Version) recordPayload {
 	}
 }
 
+// healthPayload is the /healthz body: real vault state, not a static "ok".
+// A wedged WAL or a closed vault answers 503 so load balancers stop routing
+// writes to a node that cannot durably commit them.
+type healthPayload struct {
+	Status        string          `json:"status"`
+	System        string          `json:"system"`
+	Records       int             `json:"records"`
+	Durable       bool            `json:"durable"`
+	WALWedged     bool            `json:"wal_wedged"`
+	WALWedgeError string          `json:"wal_wedge_error,omitempty"`
+	WALQueueDepth int             `json:"wal_queue_depth"`
+	InFlightOps   int             `json:"in_flight_ops"`
+	LastRecovery  recoveryPayload `json:"last_recovery"`
+}
+
+type recoveryPayload struct {
+	Ran            bool `json:"ran"`
+	SnapshotLoaded bool `json:"snapshot_loaded"`
+	WALEntries     int  `json:"wal_entries_replayed"`
+	RecordsLive    int  `json:"records_recovered"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"system":  s.vault.Name(),
-		"records": s.vault.Len(),
+	h := s.vault.Health()
+	status, state := http.StatusOK, "ok"
+	switch {
+	case !h.Open:
+		status, state = http.StatusServiceUnavailable, "closed"
+	case h.WALWedged:
+		status, state = http.StatusServiceUnavailable, "wal-wedged"
+	}
+	writeJSON(w, status, healthPayload{
+		Status:        state,
+		System:        s.vault.Name(),
+		Records:       h.LiveRecords,
+		Durable:       h.Durable,
+		WALWedged:     h.WALWedged,
+		WALWedgeError: h.WALWedgeError,
+		WALQueueDepth: h.WALQueueDepth,
+		InFlightOps:   h.InFlightOps,
+		LastRecovery: recoveryPayload{
+			Ran:            h.LastRecovery.Ran,
+			SnapshotLoaded: h.LastRecovery.SnapshotLoaded,
+			WALEntries:     h.LastRecovery.WALEntries,
+			RecordsLive:    h.LastRecovery.RecordsLive,
+		},
 	})
 }
 
@@ -255,7 +371,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if rec.CreatedAt.IsZero() {
 		rec.CreatedAt = time.Now().UTC()
 	}
-	ver, err := s.vault.Put(a, rec)
+	ver, err := s.vault.PutCtx(r.Context(), a, rec)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -268,7 +384,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	rec, ver, err := s.vault.Get(a, r.PathValue("id"))
+	rec, ver, err := s.vault.GetCtx(r.Context(), a, r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -286,7 +402,7 @@ func (s *Server) handleGetVersion(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "version must be a positive integer"})
 		return
 	}
-	rec, ver, err := s.vault.GetVersion(a, r.PathValue("id"), n)
+	rec, ver, err := s.vault.GetVersionCtx(r.Context(), a, r.PathValue("id"), n)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -307,7 +423,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	hist, err := s.vault.History(a, r.PathValue("id"))
+	hist, err := s.vault.HistoryCtx(r.Context(), a, r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -339,7 +455,7 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 	if rec.CreatedAt.IsZero() {
 		rec.CreatedAt = time.Now().UTC()
 	}
-	ver, err := s.vault.Correct(a, rec)
+	ver, err := s.vault.CorrectCtx(r.Context(), a, rec)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -352,7 +468,7 @@ func (s *Server) handleShred(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.vault.Shred(a, r.PathValue("id")); err != nil {
+	if err := s.vault.ShredCtx(r.Context(), a, r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -373,9 +489,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var ids []string
 	var err error
 	if len(qs) == 1 {
-		ids, err = s.vault.Search(a, qs[0])
+		ids, err = s.vault.SearchCtx(r.Context(), a, qs[0])
 	} else {
-		ids, err = s.vault.SearchAll(a, qs...)
+		ids, err = s.vault.SearchAllCtx(r.Context(), a, qs...)
 	}
 	if err != nil {
 		writeErr(w, err)
@@ -393,6 +509,7 @@ type auditEventPayload struct {
 	Version   uint64    `json:"version,omitempty"`
 	Outcome   string    `json:"outcome"`
 	Detail    string    `json:"detail,omitempty"`
+	Trace     string    `json:"trace,omitempty"`
 }
 
 func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
@@ -405,7 +522,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		Actor:      r.URL.Query().Get("actor"),
 		DeniedOnly: r.URL.Query().Get("denied") == "true",
 	}
-	events, err := s.vault.AuditEvents(a, q)
+	events, err := s.vault.AuditEventsCtx(r.Context(), a, q)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -415,7 +532,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		out[i] = auditEventPayload{
 			Seq: e.Seq, Timestamp: e.Timestamp, Actor: e.Actor,
 			Action: string(e.Action), Record: e.Record, Version: e.Version,
-			Outcome: string(e.Outcome), Detail: e.Detail,
+			Outcome: string(e.Outcome), Detail: e.Detail, Trace: e.Trace,
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -435,7 +552,7 @@ func (s *Server) handleCustody(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	chain, err := s.vault.Provenance(a, r.PathValue("id"))
+	chain, err := s.vault.ProvenanceCtx(r.Context(), a, r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -476,7 +593,7 @@ func (s *Server) handlePatientRecords(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ids, err := s.vault.PatientRecords(a, r.PathValue("mrn"))
+	ids, err := s.vault.PatientRecordsCtx(r.Context(), a, r.PathValue("mrn"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -499,7 +616,7 @@ func (s *Server) handleDisclosures(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	ds, err := s.vault.AccountingOfDisclosures(a, r.PathValue("mrn"))
+	ds, err := s.vault.AccountingOfDisclosuresCtx(r.Context(), a, r.PathValue("mrn"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -538,7 +655,7 @@ func (s *Server) handleProof(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "version must be a positive integer"})
 		return
 	}
-	proof, err := s.vault.ProveVersion(a, r.PathValue("id"), n)
+	proof, err := s.vault.ProveVersionCtx(r.Context(), a, r.PathValue("id"), n)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -625,7 +742,7 @@ func (s *Server) handlePlaceHold(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "a hold requires a JSON body with a reason"})
 		return
 	}
-	if err := s.vault.PlaceHold(a, r.PathValue("id"), req.Reason); err != nil {
+	if err := s.vault.PlaceHoldCtx(r.Context(), a, r.PathValue("id"), req.Reason); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -637,7 +754,7 @@ func (s *Server) handleReleaseHold(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	if err := s.vault.ReleaseHold(a, r.PathValue("id")); err != nil {
+	if err := s.vault.ReleaseHoldCtx(r.Context(), a, r.PathValue("id")); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -661,7 +778,7 @@ func (s *Server) handleBreakGlass(w http.ResponseWriter, r *http.Request) {
 	if req.Minutes <= 0 {
 		req.Minutes = 60
 	}
-	if err := s.vault.BreakGlass(a, req.Reason, time.Duration(req.Minutes)*time.Minute); err != nil {
+	if err := s.vault.BreakGlassCtx(r.Context(), a, req.Reason, time.Duration(req.Minutes)*time.Minute); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}

@@ -2,10 +2,12 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"encoding/hex"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -120,6 +122,42 @@ func (s *SSE) SearchAll(keywords ...string) []string {
 		sets = append(sets, set)
 	}
 	return intersect(sets)
+}
+
+// AddCtx is Add recording an "index.add" span on the trace carried by ctx.
+func (s *SSE) AddCtx(ctx context.Context, id, text string) {
+	_, sp := obs.StartSpan(ctx, "index.add")
+	s.Add(id, text)
+	sp.End(nil)
+}
+
+// SearchCtx is Search recording an "index.search" span. The keyword is
+// deliberately NOT attached to the span: traces are an unauthenticated debug
+// surface, and query terms are PHI-adjacent exactly like the SSE threat
+// model says.
+func (s *SSE) SearchCtx(ctx context.Context, keyword string) []string {
+	_, sp := obs.StartSpan(ctx, "index.search")
+	out := s.Search(keyword)
+	sp.SetAttr("hits", strconv.Itoa(len(out)))
+	sp.End(nil)
+	return out
+}
+
+// SearchAllCtx is SearchAll recording an "index.search" span.
+func (s *SSE) SearchAllCtx(ctx context.Context, keywords ...string) []string {
+	_, sp := obs.StartSpan(ctx, "index.search")
+	sp.SetAttr("keywords", strconv.Itoa(len(keywords)))
+	out := s.SearchAll(keywords...)
+	sp.SetAttr("hits", strconv.Itoa(len(out)))
+	sp.End(nil)
+	return out
+}
+
+// RemoveCtx is Remove recording an "index.remove" span.
+func (s *SSE) RemoveCtx(ctx context.Context, id string) {
+	_, sp := obs.StartSpan(ctx, "index.remove")
+	s.Remove(id)
+	sp.End(nil)
 }
 
 // Remove implements Index. Because the document's own token list is kept,

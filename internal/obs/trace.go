@@ -1,0 +1,426 @@
+// Request-scoped tracing. Where the metrics registry answers "what does each
+// mechanism cost in aggregate?", a trace answers "where did THIS operation's
+// time go": every vault operation carries a Trace through context.Context,
+// and each compliance mechanism it crosses — crypto seal/open, index
+// update/search, WAL enqueue/commit, blockstore I/O, Merkle append/proof,
+// audit append — records a Span. The trace ID is stamped into the operation's
+// tamper-evident audit entry, so the compliance record and the performance
+// record reference each other: a reviewer goes from "who touched record X"
+// to "what the system did, step by step, and how long each step took".
+//
+// Completed traces land in a bounded, lock-striped ring buffer. Traces at or
+// above the slow threshold are pinned in their own rings (fast traffic can
+// never evict the interesting outliers); fast traces are 1-in-N sampled.
+// Span durations also feed the shared metrics registry (medvault_span_seconds
+// by span name, medvault_trace_seconds by op), so /metrics and /debug/traces
+// agree about where time goes.
+//
+// The zero cost path matters: StartSpan on a context without a trace returns
+// a nil *Span, and every Span method is nil-safe, so un-traced callers (the
+// simulator, the torture harness, library users) pay one context lookup and
+// nothing else.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default tracing policy. Values chosen so a lightly loaded server retains
+// everything recent while a hammered one degrades to "all slow traces plus a
+// sample of the rest" without unbounded memory.
+const (
+	DefaultTraceCapacity  = 512
+	DefaultSlowCapacity   = 128
+	DefaultSlowThreshold  = 25 * time.Millisecond
+	defaultTracerStripes  = 8
+	maxAcceptedTraceIDLen = 64
+)
+
+// Span is one step of a traced operation: a named, timed interval with
+// optional attributes, an error, and nested children. Spans are created with
+// StartSpan and closed with End; a span still open when its trace finishes is
+// closed by the tracer and marked unfinished.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Dur      time.Duration
+	Err      string
+	Attrs    []Label
+	Children []*Span
+
+	tr    *Trace // owning trace; nil only on the no-op span
+	ended bool
+}
+
+// Trace is the record of one operation: an ID, the operation name, and the
+// span tree its mechanisms recorded. A Trace is mutable until Finish; after
+// Finish it is immutable and safe to read without locks.
+type Trace struct {
+	ID    string
+	Op    string
+	Start time.Time
+	Dur   time.Duration
+	Err   string
+	Slow  bool
+	Spans []*Span
+
+	mu       sync.Mutex
+	finished bool
+}
+
+// ctxKey carries the pair (trace, current parent span) through a context.
+type ctxKey struct{}
+
+type ctxVal struct {
+	tr     *Trace
+	parent *Span // nil means children attach at the trace root
+}
+
+// TracerConfig bounds and tunes a Tracer. Zero values select the defaults
+// above; SampleEvery 0 or 1 keeps every fast trace (still ring-bounded).
+type TracerConfig struct {
+	Capacity      int           // total retained fast traces across stripes
+	SlowCapacity  int           // total pinned slow traces across stripes
+	SlowThreshold time.Duration // traces at/above this duration are pinned
+	SampleEvery   int           // keep 1 in N fast traces
+}
+
+// stripe is one shard of the ring buffer: independent lock, independent
+// rings, so concurrent request completions on different stripes never
+// contend.
+type stripe struct {
+	mu     sync.Mutex
+	recent []*Trace // sampled fast traces, ring
+	rPos   int
+	slow   []*Trace // pinned slow traces, ring
+	sPos   int
+}
+
+// Tracer creates traces, collects finished ones, and serves snapshots.
+// All methods are safe for concurrent use.
+type Tracer struct {
+	cfg     TracerConfig
+	stripes [defaultTracerStripes]stripe
+	n       atomic.Uint64 // finished-trace counter: stripe choice + sampling
+	started atomic.Uint64
+	dropped atomic.Uint64 // fast traces not retained by sampling
+}
+
+// NewTracer returns a Tracer with cfg (zero fields take defaults).
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultTraceCapacity
+	}
+	if cfg.SlowCapacity <= 0 {
+		cfg.SlowCapacity = DefaultSlowCapacity
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = DefaultSlowThreshold
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 1
+	}
+	return &Tracer{cfg: cfg}
+}
+
+// DefaultTracer is the process-wide tracer, mirroring obs.Default for
+// metrics: the HTTP layer starts traces here and /debug/traces reads them.
+var DefaultTracer = NewTracer(TracerConfig{})
+
+// NewTraceID returns a fresh 16-hex-char trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively fatal elsewhere (key generation);
+		// for a debug identifier a degenerate constant is acceptable.
+		return "trace-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ValidTraceID reports whether a caller-supplied ID (e.g. an X-Request-ID
+// header) is safe to adopt: bounded length, printable, no separators that
+// could corrupt logs or headers.
+func ValidTraceID(id string) bool {
+	if id == "" || len(id) > maxAcceptedTraceIDLen {
+		return false
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Start begins a trace for op, adopting id if it is valid and generating one
+// otherwise, and returns a context carrying the trace for StartSpan calls
+// below. The caller must pass the trace to Finish exactly once.
+func (t *Tracer) Start(ctx context.Context, op, id string) (context.Context, *Trace) {
+	if !ValidTraceID(id) {
+		id = NewTraceID()
+	}
+	tr := &Trace{ID: id, Op: op, Start: time.Now()}
+	t.started.Add(1)
+	return context.WithValue(ctx, ctxKey{}, &ctxVal{tr: tr}), tr
+}
+
+// Finish seals the trace — closing any spans left open (a cancelled or
+// panicking operation must not leak half-recorded spans), computing the
+// duration, feeding the span histograms — and retains it in the ring buffer
+// subject to the slow/sampling policy.
+func (t *Tracer) Finish(tr *Trace, err error) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	end := time.Now()
+	tr.Dur = end.Sub(tr.Start)
+	if err != nil {
+		tr.Err = err.Error()
+	}
+	closeOpen(tr.Spans, end)
+	tr.Slow = tr.Dur >= t.cfg.SlowThreshold
+	tr.finished = true
+	tr.mu.Unlock()
+
+	// Histograms observe every finished trace, sampled away or not, so the
+	// metrics view reflects real traffic, not retention policy.
+	Default.Histogram("medvault_trace_seconds",
+		"End-to-end traced operation latency by op.", LatencyBuckets,
+		L("op", tr.Op)).Observe(tr.Dur.Seconds())
+	observeSpans(tr.Spans)
+
+	n := t.n.Add(1)
+	if !tr.Slow && t.cfg.SampleEvery > 1 && n%uint64(t.cfg.SampleEvery) != 0 {
+		t.dropped.Add(1)
+		return
+	}
+	st := &t.stripes[n%defaultTracerStripes]
+	st.mu.Lock()
+	if tr.Slow {
+		st.slow, st.sPos = ringPut(st.slow, st.sPos, perStripe(t.cfg.SlowCapacity), tr)
+	} else {
+		st.recent, st.rPos = ringPut(st.recent, st.rPos, perStripe(t.cfg.Capacity), tr)
+	}
+	st.mu.Unlock()
+}
+
+// perStripe splits a total capacity across the stripes, at least one each.
+func perStripe(total int) int {
+	c := total / defaultTracerStripes
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// ringPut appends tr to a bounded ring, growing until capacity then
+// overwriting the oldest slot.
+func ringPut(ring []*Trace, pos, capacity int, tr *Trace) ([]*Trace, int) {
+	if len(ring) < capacity {
+		return append(ring, tr), pos
+	}
+	ring[pos] = tr
+	return ring, (pos + 1) % capacity
+}
+
+// closeOpen ends every still-open span in the tree at end time, marking it
+// unfinished. Caller holds the trace lock.
+func closeOpen(spans []*Span, end time.Time) {
+	for _, s := range spans {
+		if !s.ended {
+			s.Dur = end.Sub(s.Start)
+			if s.Err == "" {
+				s.Err = "unfinished"
+			}
+			s.ended = true
+		}
+		closeOpen(s.Children, end)
+	}
+}
+
+// observeSpans feeds each span's duration into the shared registry.
+func observeSpans(spans []*Span) {
+	for _, s := range spans {
+		Default.Histogram("medvault_span_seconds",
+			"Traced span latency by span name.", LatencyBuckets,
+			L("span", s.Name)).Observe(s.Dur.Seconds())
+		observeSpans(s.Children)
+	}
+}
+
+// TraceFrom returns the trace carried by ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if v, ok := ctx.Value(ctxKey{}).(*ctxVal); ok {
+		return v.tr
+	}
+	return nil
+}
+
+// TraceID returns the trace ID carried by ctx, or "" when untraced. Audit
+// uses it to stamp events; the HTTP layer echoes it as X-Request-ID.
+func TraceID(ctx context.Context) string {
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
+}
+
+// StartSpan opens a child span under the context's current span (or at the
+// trace root) and returns a context in which further spans nest below it.
+// On an untraced context it returns (ctx, nil); all Span methods are
+// nil-safe, so instrumented call sites need no branching.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	v, ok := ctx.Value(ctxKey{}).(*ctxVal)
+	if !ok || v.tr == nil {
+		return ctx, nil
+	}
+	s := &Span{Name: name, Start: time.Now(), tr: v.tr}
+	v.tr.mu.Lock()
+	if v.tr.finished {
+		// A span started after its trace finished (e.g. a stray goroutine)
+		// is recorded nowhere rather than racing the immutable trace.
+		v.tr.mu.Unlock()
+		return ctx, nil
+	}
+	if v.parent != nil {
+		v.parent.Children = append(v.parent.Children, s)
+	} else {
+		v.tr.Spans = append(v.tr.Spans, s)
+	}
+	v.tr.mu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, &ctxVal{tr: v.tr, parent: s}), s
+}
+
+// SetAttr attaches a key/value attribute. Attribute values must never carry
+// PHI — /debug/traces is an unauthenticated surface like /metrics; sizes,
+// sequence numbers, and outcomes only.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended && !s.tr.finished {
+		s.Attrs = append(s.Attrs, Label{Key: key, Value: value})
+	}
+	s.tr.mu.Unlock()
+}
+
+// End closes the span, recording the elapsed time and the error, if any.
+// Ending twice, or ending after the trace finished, is a no-op.
+func (s *Span) End(err error) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	if !s.ended && !s.tr.finished {
+		s.Dur = time.Since(s.Start)
+		if err != nil {
+			s.Err = err.Error()
+		}
+		s.ended = true
+	}
+	s.tr.mu.Unlock()
+}
+
+// TraceFilter selects traces for a snapshot. Zero values match everything.
+type TraceFilter struct {
+	Op     string        // substring match against Trace.Op
+	MinDur time.Duration // only traces at least this long
+	Limit  int           // max traces returned (0 = all retained)
+}
+
+// Snapshot returns retained finished traces matching f, newest first. The
+// returned traces are finished and therefore immutable; callers may read
+// them freely.
+func (t *Tracer) Snapshot(f TraceFilter) []*Trace {
+	var out []*Trace
+	for i := range t.stripes {
+		st := &t.stripes[i]
+		st.mu.Lock()
+		for _, tr := range st.recent {
+			out = append(out, tr)
+		}
+		for _, tr := range st.slow {
+			out = append(out, tr)
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	kept := out[:0]
+	for _, tr := range out {
+		if f.Op != "" && !containsFold(tr.Op, f.Op) {
+			continue
+		}
+		if tr.Dur < f.MinDur {
+			continue
+		}
+		kept = append(kept, tr)
+		if f.Limit > 0 && len(kept) >= f.Limit {
+			break
+		}
+	}
+	return kept
+}
+
+// Stats reports tracer volume counters: traces started, finished, and fast
+// traces dropped by sampling.
+func (t *Tracer) Stats() (started, finished, sampledOut uint64) {
+	return t.started.Load(), t.n.Load(), t.dropped.Load()
+}
+
+// SpanCount returns the number of spans in the trace, all levels included.
+// Valid on finished traces.
+func (tr *Trace) SpanCount() int { return countSpans(tr.Spans) }
+
+func countSpans(spans []*Span) int {
+	n := len(spans)
+	for _, s := range spans {
+		n += countSpans(s.Children)
+	}
+	return n
+}
+
+// containsFold is a case-insensitive substring test without importing
+// strings' full machinery at every filter call.
+func containsFold(haystack, needle string) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	if len(needle) > len(haystack) {
+		return false
+	}
+	lower := func(b byte) byte {
+		if b >= 'A' && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		ok := true
+		for j := 0; j < len(needle); j++ {
+			if lower(haystack[i+j]) != lower(needle[j]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

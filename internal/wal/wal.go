@@ -15,12 +15,15 @@
 package wal
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
@@ -44,6 +47,10 @@ var (
 	metBatchEntries = obs.Default.Histogram("medvault_wal_batch_entries",
 		"Entries coalesced per group commit.",
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	metQueueDepth = obs.Default.Gauge("medvault_wal_queue_depth",
+		"Entries enqueued for group commit but not yet durable.")
+	metWedged = obs.Default.Gauge("medvault_wal_wedged",
+		"1 when a WAL in this process has wedged on a write/fsync failure.")
 )
 
 // Errors returned by the package.
@@ -167,6 +174,7 @@ func (l *Log) Enqueue(data []byte) (uint64, func() error) {
 	l.batch = appendEntry(l.batch, seq, data)
 	w := &waiter{done: make(chan struct{})}
 	l.waiters = append(l.waiters, w)
+	metQueueDepth.Add(1)
 	leader := !l.flushing
 	if leader {
 		l.flushing = true
@@ -193,6 +201,7 @@ func (l *Log) flushLoop() {
 		if l.wedged != nil {
 			// A previous batch failed; the on-disk tail is unknown, so fail
 			// queued entries without writing after the gap.
+			metQueueDepth.Add(-float64(len(ws)))
 			for _, w := range ws {
 				w.err = l.wedged
 				close(w.done)
@@ -221,11 +230,18 @@ func (l *Log) flushLoop() {
 		l.mu.Lock()
 		if err != nil {
 			// A failed write or fsync leaves the on-disk tail unknown; the
-			// log wedges rather than risk appending after a gap.
+			// log wedges rather than risk appending after a gap. This is the
+			// loudest event a durable vault can emit short of crashing —
+			// every subsequent durable mutation will fail — so it is logged
+			// structurally as well as gauged.
 			l.wedged = err
+			metWedged.Set(1)
+			slog.Error("wal wedged: write/fsync failed, refusing further appends",
+				"path", l.path, "err", err)
 		} else {
 			l.size += int64(len(buf))
 		}
+		metQueueDepth.Add(-float64(len(ws)))
 		for _, w := range ws {
 			w.err = err
 			close(w.done)
@@ -245,6 +261,51 @@ func (l *Log) Append(data []byte) (uint64, error) {
 		return 0, err
 	}
 	return seq, nil
+}
+
+// EnqueueCtx is Enqueue recording trace spans: a "wal.enqueue" span around
+// the staging call, and a "wal.commit" span inside the returned wait — the
+// interval from enqueue to the fsync that made the batch durable, which is
+// the durability tax the group commit amortizes across concurrent writers.
+func (l *Log) EnqueueCtx(ctx context.Context, data []byte) (uint64, func() error) {
+	_, es := obs.StartSpan(ctx, "wal.enqueue")
+	es.SetAttr("bytes", strconv.Itoa(len(data)))
+	seq, wait := l.Enqueue(data)
+	es.SetAttr("seq", strconv.FormatUint(seq, 10))
+	es.End(nil)
+	return seq, func() error {
+		_, cs := obs.StartSpan(ctx, "wal.commit")
+		cs.SetAttr("seq", strconv.FormatUint(seq, 10))
+		err := wait()
+		cs.End(err)
+		return err
+	}
+}
+
+// AppendCtx is Append recording the same spans as EnqueueCtx.
+func (l *Log) AppendCtx(ctx context.Context, data []byte) (uint64, error) {
+	seq, wait := l.EnqueueCtx(ctx, data)
+	if err := wait(); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Wedged returns the fatal error that wedged the log, or nil. A wedged log
+// fails every append with the same error until the process restarts; the
+// health endpoint surfaces this state.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
+}
+
+// QueueDepth returns the number of entries staged for group commit whose
+// durability is not yet acknowledged.
+func (l *Log) QueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
 }
 
 // waitIdle blocks until no flush cycle is active. Caller holds l.mu.
