@@ -23,16 +23,28 @@ const benchSchema = "medvault-bench/v1"
 
 // benchReport is the top-level BENCH_<n>.json document.
 type benchReport struct {
-	Schema     string       `json:"schema"`
-	Generated  time.Time    `json:"generated"`
-	Mode       string       `json:"mode"`  // "experiments" or "scaling"
-	Scale      string       `json:"scale"` // "full" or "quick"
-	Backend    string       `json:"backend,omitempty"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Ops        []histRow    `json:"ops"`
-	Spans      []histRow    `json:"spans"`
-	Traces     traceCounts  `json:"traces"`
-	Scaling    []scalingRow `json:"scaling,omitempty"`
+	Schema      string       `json:"schema"`
+	Generated   time.Time    `json:"generated"`
+	Mode        string       `json:"mode"`  // "experiments", "scaling", or "reads"
+	Scale       string       `json:"scale"` // "full" or "quick"
+	Backend     string       `json:"backend,omitempty"`
+	CacheConfig string       `json:"cache_config,omitempty"` // reads mode: "enabled" or "disabled"
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Ops         []histRow    `json:"ops"`
+	Spans       []histRow    `json:"spans"`
+	Traces      traceCounts  `json:"traces"`
+	Caches      []cacheRow   `json:"caches"`
+	Scaling     []scalingRow `json:"scaling,omitempty"`
+}
+
+// cacheRow is one read-cache layer's lifetime accounting, read back from the
+// medvault_cache_*_total registry families medvaultd exposes on /metrics.
+type cacheRow struct {
+	Cache     string  `json:"cache"` // "dek", "block", or "negative"
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Evictions uint64  `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"` // hits / (hits + misses); 0 when idle
 }
 
 // histRow is one latency distribution: a vault op or a trace span.
@@ -73,6 +85,7 @@ func writeBenchJSON(rep benchReport) error {
 	rep.Ops = histRows("medvault_core_op_seconds", "op")
 	rep.Spans = histRows("medvault_span_seconds", "span")
 	rep.Traces.Started, rep.Traces.Finished, rep.Traces.SampledOut = obs.DefaultTracer.Stats()
+	rep.Caches = cacheRows()
 	if rep.Ops == nil {
 		rep.Ops = []histRow{}
 	}
@@ -117,10 +130,31 @@ func histRows(metric, label string) []histRow {
 	return nil
 }
 
+// cacheRows reads each read-cache layer's counters from the registry.
+func cacheRows() []cacheRow {
+	rows := make([]cacheRow, 0, 3)
+	for _, layer := range []string{"dek", "block", "negative"} {
+		l := obs.L("cache", layer)
+		row := cacheRow{
+			Cache:     layer,
+			Hits:      uint64(counterValue("medvault_cache_hits_total", l)),
+			Misses:    uint64(counterValue("medvault_cache_misses_total", l)),
+			Evictions: uint64(counterValue("medvault_cache_evictions_total", l)),
+		}
+		if total := row.Hits + row.Misses; total > 0 {
+			row.HitRate = float64(row.Hits) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
 // nextBenchFile creates the first BENCH_<n>.json that does not already
 // exist, so successive runs in one directory never clobber each other.
+// Numbering starts at 0: BENCH_0.json is the committed baseline of the
+// bench trajectory.
 func nextBenchFile() (string, *os.File, error) {
-	for n := 1; n < 10000; n++ {
+	for n := 0; n < 10000; n++ {
 		path := fmt.Sprintf("BENCH_%d.json", n)
 		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if err == nil {

@@ -8,6 +8,8 @@
 //	medbench -scale quick     # CI-sized run
 //	medbench -e e1,e3         # selected experiments only
 //	medbench -workers 8       # concurrency scaling table instead of E1–E9
+//	medbench -reads 20000     # read-path benchmark (repeated Gets, hot cache)
+//	medbench -reads 20000 -no-cache   # same workload with every cache layer off
 //	medbench -json            # also write BENCH_<n>.json (schema medvault-bench/v1)
 //
 // -json writes the run's aggregate numbers — per-op and per-span latency
@@ -41,8 +43,17 @@ func main() {
 		workers = flag.Int("workers", 0, "when > 0, run the throughput-vs-goroutines scaling table up to this many workers instead of the experiments")
 		backend = flag.String("backend", "memory", "vault backend for -workers: 'memory' or 'file' (file adds the WAL + fsync path, where group commit pays off)")
 		jsonOut = flag.Bool("json", false, "also write machine-readable results to the first free BENCH_<n>.json")
+		reads   = flag.Int("reads", 0, "when > 0, run the read-path benchmark: this many Gets over a small warmed record set instead of the experiments")
+		noCache = flag.Bool("no-cache", false, "disable every read-cache layer (DEK, block, negative) — the before side of a cache before/after")
 	)
 	flag.Parse()
+	if *reads > 0 {
+		if err := runReads(*reads, *backend, *scale, *noCache, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "medbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *workers > 0 {
 		if err := runScaling(*workers, *backend, *scale, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "medbench:", err)
@@ -182,6 +193,110 @@ func runScaling(maxWorkers int, backend, scale string, jsonOut bool) error {
 		})
 	}
 	return nil
+}
+
+// runReads measures the hot read path: a small record set is written once,
+// then hammered with Gets (plus a slice of unknown-ID probes for the
+// negative-lookup layer). With the caches on, steady state is all hits —
+// no AES-GCM DEK unwrap, no blockstore read; with -no-cache every Get pays
+// the full pipeline. Running both and diffing the BENCH JSONs is the
+// before/after the bench trajectory records.
+func runReads(total int, backend, scale string, noCache, jsonOut bool) error {
+	if backend != "memory" && backend != "file" {
+		return fmt.Errorf("unknown backend %q (want memory or file)", backend)
+	}
+	if scale != "full" && scale != "quick" {
+		return fmt.Errorf("unknown scale %q", scale)
+	}
+	records := 200
+	if scale == "quick" {
+		records = 50
+	}
+	if records > total {
+		records = total
+	}
+
+	cfg := core.Config{Name: "medbench-reads", Master: mustNewKey()}
+	if noCache {
+		cfg.DEKCacheEntries = -1
+		cfg.BlockCacheBytes = -1
+		cfg.NegCacheEntries = -1
+	}
+	if backend == "file" {
+		dir, err := os.MkdirTemp("", "medbench-reads-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+	v, err := core.Open(cfg)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	a, err := core.NewAdapter(v)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < records; i++ {
+		rec := ehr.Record{
+			ID:      fmt.Sprintf("read-%d", i),
+			Patient: "Read Patient", MRN: fmt.Sprintf("mrn-read-%d", i),
+			Category: ehr.CategoryClinical, Author: "bench-admin",
+			CreatedAt: experiments.Epoch,
+			Title:     "read-path probe", Body: "cache benchmark record body",
+		}
+		if err := a.Put(rec); err != nil {
+			return err
+		}
+	}
+
+	cacheState := "enabled"
+	if noCache {
+		cacheState = "disabled"
+	}
+	fmt.Printf("MedVault read-path benchmark — backend=%s, %d records, %d gets, caches %s\n\n",
+		backend, records, total, cacheState)
+
+	known, unknown := 0, 0
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		if i%10 == 9 {
+			// Unknown-ID probe: must stay ErrNotFound and still be audited;
+			// with caches on, repeats are negative-cache hits.
+			if _, err := a.Get(fmt.Sprintf("missing-%d", i%records)); err == nil {
+				return fmt.Errorf("probe of nonexistent record unexpectedly succeeded")
+			}
+			unknown++
+			continue
+		}
+		if _, err := a.Get(fmt.Sprintf("read-%d", i%records)); err != nil {
+			return err
+		}
+		known++
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("  %d gets (%d known, %d unknown-ID probes) in %.3fs — %.0f gets/sec\n\n",
+		total, known, unknown, elapsed, float64(total)/elapsed)
+	printMetricsBreakdown(os.Stdout)
+	printCacheCounters(os.Stdout)
+	if jsonOut {
+		return writeBenchJSON(benchReport{
+			Mode: "reads", Scale: scale, Backend: backend, CacheConfig: cacheState,
+		})
+	}
+	return nil
+}
+
+// printCacheCounters renders the per-layer read-cache accounting.
+func printCacheCounters(w *os.File) {
+	fmt.Fprintln(w, "\nRead-cache counters (process-wide)")
+	fmt.Fprintf(w, "  %-10s %10s %10s %10s %9s\n", "cache", "hits", "misses", "evictions", "hit rate")
+	for _, row := range cacheRows() {
+		fmt.Fprintf(w, "  %-10s %10d %10d %10d %8.1f%%\n",
+			row.Cache, row.Hits, row.Misses, row.Evictions, 100*row.HitRate)
+	}
 }
 
 type scalingResult struct {

@@ -55,15 +55,23 @@ func main() {
 		tlsCert   = flag.String("tls-cert", "", "TLS certificate file (enables HTTPS with -tls-key)")
 		tlsKey    = flag.String("tls-key", "", "TLS private key file")
 		debugAddr = flag.String("debug-addr", "", "optional debug listener (pprof + /debug/traces); bind to loopback")
+		dekCache  = flag.Int("dek-cache", 0, "plaintext-DEK cache entries (0 = default, negative disables)")
+		blockMB   = flag.Int("block-cache-mb", 0, "ciphertext block cache size in MiB (0 = default, negative disables)")
+		negCache  = flag.Int("neg-cache", 0, "negative-lookup cache entries (0 = default, negative disables)")
 	)
 	flag.Parse()
-	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey, *debugAddr); err != nil {
+	opt := vaultcfg.Options{
+		DEKCacheEntries: *dekCache,
+		BlockCacheBytes: int64(*blockMB) << 20,
+		NegCacheEntries: *negCache,
+	}
+	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey, *debugAddr, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "medvaultd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string) error {
+func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string, opt vaultcfg.Options) error {
 	if dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
@@ -81,7 +89,7 @@ func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string) error {
 	if err != nil {
 		return err
 	}
-	v, err := vaultcfg.Open(dir, name, master)
+	v, err := vaultcfg.OpenWith(dir, name, master, opt)
 	if err != nil {
 		ln.Close()
 		return err

@@ -8,13 +8,13 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "x", ":0", "n", "", "", ""); err == nil || !strings.Contains(err.Error(), "-dir") {
+	if err := run("", "x", ":0", "n", "", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "-dir") {
 		t.Errorf("missing dir: %v", err)
 	}
-	if err := run(t.TempDir(), "nothex", ":0", "n", "", "", ""); err == nil {
+	if err := run(t.TempDir(), "nothex", ":0", "n", "", "", "", vaultcfg.Options{}); err == nil {
 		t.Errorf("bad key accepted")
 	}
-	if err := run(t.TempDir(), "x", ":0", "n", "cert-only", "", ""); err == nil || !strings.Contains(err.Error(), "together") {
+	if err := run(t.TempDir(), "x", ":0", "n", "cert-only", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "together") {
 		t.Errorf("lopsided TLS flags: %v", err)
 	}
 }
@@ -26,7 +26,7 @@ func TestRunRefusesBadAddr(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An unparseable listen address fails fast instead of serving.
-	if err := run(dir, hexKey, "not-an-addr", "n", "", "", ""); err == nil {
+	if err := run(dir, hexKey, "not-an-addr", "n", "", "", "", vaultcfg.Options{}); err == nil {
 		t.Error("bad address accepted")
 	}
 }

@@ -149,6 +149,9 @@ func (v *Vault) importAs(actor string, bundle ExportBundle, sourceSystem string,
 	v.regMu.Lock()
 	v.records[bundle.ID] = st
 	v.regMu.Unlock()
+	// As in Put: the record exists now, so drop any cached negative lookup
+	// (the consult-and-add runs under the same stripe this import holds).
+	v.neg.remove(bundle.ID)
 
 	// Adopt the source's custody chain, then extend it with the arrival.
 	if err := v.prov.Adopt(bundle.Custody); err != nil {

@@ -446,6 +446,9 @@ func (v *Vault) loadSnapshot(master vcrypto.Key, path string) error {
 	if v.keys, err = vcrypto.LoadKeyStore(vcrypto.DeriveKey(master, "vault/kek"), ksSnap); err != nil {
 		return fmt.Errorf("core: restoring key store: %w", err)
 	}
+	// LoadKeyStore builds a default-sized DEK cache; reapply the configured
+	// bound. The reopened vault's caches start cold either way.
+	v.keys.SetCacheCapacity(v.dekCacheCap)
 	leafBytes, err := readBytesField(r)
 	if err != nil {
 		return fmt.Errorf("core: truncated snapshot: %w", err)

@@ -77,6 +77,27 @@ func (v *Vault) stateFor(id string) (*recordState, error) {
 	return st, nil
 }
 
+// stateForRead is stateFor through the negative-lookup cache; the read paths
+// (Get, GetVersion, History) use it so repeated unknown-ID probes skip the
+// registry. The caller must hold the record's stripe lock: Put removes the
+// negative entry under the same stripe's write lock, which is what makes a
+// hit here trustworthy. Shredded records never enter the cache — shredded
+// and not-found stay distinct outcomes.
+func (v *Vault) stateForRead(id string) (*recordState, error) {
+	if v.neg.has(id) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	st, ok := v.lookup(id)
+	if !ok {
+		v.neg.add(id)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if st.shredded.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrShredded, id)
+	}
+	return st, nil
+}
+
 // auditProbe records a failed lookup: unknown-record or unknown-version
 // probing is signal, so the attempt is written even though nothing else is.
 func (v *Vault) auditProbe(ctx context.Context, actor string, action audit.Action, id string, version uint64, err error) {
@@ -202,6 +223,10 @@ func (v *Vault) PutCtx(ctx context.Context, actor string, rec ehr.Record) (_ Ver
 	v.regMu.Lock()
 	v.records[rec.ID] = st
 	v.regMu.Unlock()
+	// The record exists now; forget any cached "does not exist" answer.
+	// Both this removal and the read paths' consult-and-add run under the
+	// record's stripe, so no stale negative entry can survive the Put.
+	v.neg.remove(rec.ID)
 	metLiveRecords.Add(1)
 	// The version is committed (stored, WAL-logged, Merkle-committed,
 	// indexed) and visible; from here the Put has happened. A custody-chain
@@ -216,15 +241,29 @@ func (v *Vault) PutCtx(ctx context.Context, actor string, rec ehr.Record) (_ Ver
 
 // readVersion reads and verifies one version's content. Caller holds at
 // least the record's stripe read lock.
-func (v *Vault) readVersion(ctx context.Context, id string, ver Version) (ehr.Record, error) {
-	ct, err := blockstore.ReadCtx(ctx, v.blocks, ver.Ref)
-	if err != nil {
-		return ehr.Record{}, fmt.Errorf("%w: %s v%d: %v", ErrTampered, id, ver.Number, err)
+//
+// The block cache short-circuits the blockstore read without weakening the
+// integrity check: an entry is only filled after its bytes hashed to
+// ver.CtHash, and a hit is only served when the fill-time hash equals the
+// CtHash this version demands — the same 32-byte comparison either way.
+func (v *Vault) readVersion(ctx context.Context, id string, ver Version) (_ ehr.Record, err error) {
+	ctx, sp := obs.StartSpan(ctx, "core.read_version")
+	defer func() { sp.End(err) }()
+	ct, cached := v.bcache.get(ver.Ref, ver.CtHash)
+	if cached {
+		sp.SetAttr("block_cache", "hit")
+	} else {
+		sp.SetAttr("block_cache", "miss")
+		ct, err = blockstore.ReadCtx(ctx, v.blocks, ver.Ref)
+		if err != nil {
+			return ehr.Record{}, fmt.Errorf("%w: %s v%d: %v", ErrTampered, id, ver.Number, err)
+		}
+		if vcrypto.Hash(ct) != ver.CtHash {
+			return ehr.Record{}, fmt.Errorf("%w: %s v%d: ciphertext hash mismatch", ErrTampered, id, ver.Number)
+		}
+		v.bcache.put(ver.Ref, ver.CtHash, ct)
 	}
-	if vcrypto.Hash(ct) != ver.CtHash {
-		return ehr.Record{}, fmt.Errorf("%w: %s v%d: ciphertext hash mismatch", ErrTampered, id, ver.Number)
-	}
-	dek, err := v.keys.Get(id)
+	dek, err := v.keys.GetCtx(ctx, id)
 	if err != nil {
 		if errors.Is(err, vcrypto.ErrShredded) {
 			return ehr.Record{}, fmt.Errorf("%w: %s", ErrShredded, id)
@@ -257,7 +296,7 @@ func (v *Vault) GetCtx(ctx context.Context, actor, id string) (_ ehr.Record, _ V
 	mu := v.stripes.forRecord(id)
 	mu.RLock()
 	defer mu.RUnlock()
-	st, err := v.stateFor(id)
+	st, err := v.stateForRead(id)
 	if err != nil {
 		v.auditProbe(ctx, actor, audit.ActionRead, id, 0, err)
 		return ehr.Record{}, Version{}, err
@@ -287,7 +326,7 @@ func (v *Vault) GetVersionCtx(ctx context.Context, actor, id string, number uint
 	mu := v.stripes.forRecord(id)
 	mu.RLock()
 	defer mu.RUnlock()
-	st, err := v.stateFor(id)
+	st, err := v.stateForRead(id)
 	if err == nil && (number == 0 || number > uint64(len(st.versions))) {
 		err = fmt.Errorf("%w: %s has no version %d", ErrNotFound, id, number)
 	}
@@ -321,7 +360,7 @@ func (v *Vault) HistoryCtx(ctx context.Context, actor, id string) (_ []Version, 
 	mu := v.stripes.forRecord(id)
 	mu.RLock()
 	defer mu.RUnlock()
-	st, err := v.stateFor(id)
+	st, err := v.stateForRead(id)
 	if err != nil {
 		v.auditProbe(ctx, actor, audit.ActionRead, id, 0, err)
 		return nil, err
@@ -531,6 +570,15 @@ func (v *Vault) ShredCtx(ctx context.Context, actor, id string) (err error) {
 	if err := v.keys.Shred(id); err != nil {
 		return err
 	}
+	// keys.Shred already zeroized the record's cached plaintext DEK. Drop
+	// its cached ciphertext blocks too: they are unreadable without the key,
+	// but the sanitize guarantee — shredded bytes leave the medium — should
+	// extend to memory rather than wait for LRU churn.
+	refs := make([]blockstore.Ref, len(st.versions))
+	for i := range st.versions {
+		refs[i] = st.versions[i].Ref
+	}
+	v.bcache.invalidate(refs)
 	v.idx.RemoveCtx(ctx, id)
 	v.ret.Forget(id)
 	st.shredded.Store(true)

@@ -126,6 +126,10 @@ func (v *Vault) SanitizeMedia(actor string) (dropped int, reclaimed int64, err e
 		v.blocks = fresh
 		_ = old.Close()
 	}
+	// The rewrite relocated every block, so no cached (ref, bytes) pair is
+	// current — and sanitization's whole point is that shredded bytes leave
+	// the medium, which must include this cache.
+	v.bcache.purge()
 	reclaimed = before - v.blocks.StorageBytes()
 
 	_, _ = v.aud.Append(audit.Event{

@@ -215,11 +215,23 @@ func runWorkload(v *Vault, vc *clock.Virtual, o *oracle) error {
 	delete(o.holds, "rec-2")
 	// Age past the clinical retention period so shredding is permitted.
 	vc.Advance(40 * 365 * 24 * time.Hour)
+	// Warm every cache layer on the shred target: this read pulls rec-0's
+	// plaintext DEK into the key cache and its ciphertext into the block
+	// cache, so the shred below must invalidate both — and a crash injected
+	// anywhere inside the shred exercises recovery with those caches gone.
+	if _, _, err := v.Get("dr-house", "rec-0"); err != nil {
+		return err
+	}
 	o.shredTried["rec-0"] = true
 	if err := v.Shred("arch-lee", "rec-0"); err != nil {
 		return err
 	}
 	o.shredded["rec-0"] = true
+	// Read-after-shred probe: the caches warmed moments ago must not
+	// resurrect the record. Anything but ErrShredded is a stale cache layer.
+	if _, _, err := v.Get("dr-house", "rec-0"); !errors.Is(err, ErrShredded) {
+		return fmt.Errorf("read-after-shred of rec-0: want ErrShredded, got %v", err)
+	}
 	if err := put("rec-4"); err != nil {
 		return err
 	}
@@ -246,6 +258,16 @@ func (o *oracle) check(v *Vault) error {
 			}
 			if rec.Body != want {
 				return fmt.Errorf("acked %s v%d body mismatch after recovery", id, i+1)
+			}
+			// Read it again: the first read filled the block and DEK caches,
+			// so this one is served from them — the cached path must return
+			// the identical acked body, not a stale or cross-wired block.
+			rec, _, err = v.GetVersion("dr-house", id, uint64(i+1))
+			if err != nil {
+				return fmt.Errorf("acked %s v%d unreadable on cached re-read: %w", id, i+1, err)
+			}
+			if rec.Body != want {
+				return fmt.Errorf("acked %s v%d body mismatch on cached re-read", id, i+1)
 			}
 		}
 	}

@@ -112,6 +112,20 @@ type Config struct {
 	// AuditCheckpointInterval is the automatic audit checkpoint cadence in
 	// events (0 disables automatic checkpoints).
 	AuditCheckpointInterval int
+
+	// Read-path cache sizing. For each knob, zero selects the default and a
+	// negative value disables that cache layer. See DESIGN.md "Read-path
+	// caching" for the layers and their invalidation rules.
+	//
+	// DEKCacheEntries bounds the plaintext-DEK cache inside the key store
+	// (default vcrypto.DefaultDEKCacheCap entries).
+	DEKCacheEntries int
+	// BlockCacheBytes bounds the verified-ciphertext block cache
+	// (default DefaultBlockCacheBytes).
+	BlockCacheBytes int64
+	// NegCacheEntries bounds the negative-lookup (known-missing ID) cache
+	// (default DefaultNegCacheEntries).
+	NegCacheEntries int
 }
 
 // Vault is the hybrid compliance store. Locking follows the discipline
@@ -133,6 +147,10 @@ type Vault struct {
 	prov   *provenance.Tracker
 	auth   *authz.Authorizer
 	ret    *retention.Manager
+
+	bcache      *blockCache // verified ciphertext blocks, keyed by Ref
+	neg         *negCache   // record IDs known not to exist
+	dekCacheCap int         // effective DEK-cache bound, reapplied on snapshot load
 
 	records  map[string]*recordState
 	leafSeq  atomic.Uint64 // total versions committed (== Merkle log size)
@@ -163,17 +181,21 @@ func Open(cfg Config) (*Vault, error) {
 		fsys = faultfs.OS{}
 	}
 
+	dekCap := cacheCap(cfg.DEKCacheEntries, vcrypto.DefaultDEKCacheCap)
 	v := &Vault{
-		name:     cfg.Name,
-		clk:      clk,
-		signer:   signer,
-		keys:     vcrypto.NewKeyStore(vcrypto.DeriveKey(cfg.Master, "vault/kek")),
-		idx:      index.NewSSE(vcrypto.DeriveKey(cfg.Master, "vault/index")),
-		auth:     authz.New(now),
-		records:  make(map[string]*recordState),
-		dir:      cfg.Dir,
-		fs:       fsys,
-		masterFP: cfg.Master.Fingerprint(),
+		name:        cfg.Name,
+		clk:         clk,
+		signer:      signer,
+		keys:        vcrypto.NewKeyStoreCached(vcrypto.DeriveKey(cfg.Master, "vault/kek"), dekCap),
+		idx:         index.NewSSE(vcrypto.DeriveKey(cfg.Master, "vault/index")),
+		auth:        authz.New(now),
+		bcache:      newBlockCache(cacheCap(cfg.BlockCacheBytes, int64(DefaultBlockCacheBytes))),
+		neg:         newNegCache(cacheCap(cfg.NegCacheEntries, DefaultNegCacheEntries)),
+		dekCacheCap: dekCap,
+		records:     make(map[string]*recordState),
+		dir:         cfg.Dir,
+		fs:          fsys,
+		masterFP:    cfg.Master.Fingerprint(),
 	}
 
 	pols := cfg.Policies
@@ -351,6 +373,12 @@ func (v *Vault) Close() error {
 		return nil
 	}
 	defer v.gate.endExclusive()
+	// Zeroize every cached plaintext DEK before releasing anything: key
+	// material must not outlive the vault's lifecycle. The block and
+	// negative caches go too — a later reopen starts cold.
+	v.keys.Purge()
+	v.bcache.purge()
+	v.neg.purge()
 	if v.dir != "" {
 		if err := v.writeSnapshotLocked(); err != nil {
 			return err

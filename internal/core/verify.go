@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -85,6 +86,20 @@ func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedChe
 		shredded := st.shredded.Load()
 		sanitized := st.sanitized
 		rep.RecordsChecked++
+		if shredded {
+			// Secure-deletion verification: a shredded record's key must be
+			// unobtainable from every path. Get exercises the cache-then-
+			// unwrap path a reader would take; HasCachedDEK additionally
+			// proves no plaintext DEK lingers in the cache — a cached key
+			// outliving crypto-shredding is exactly the Boneh–Lipton
+			// revocable-backup failure the cache design must exclude.
+			if _, err := v.keys.Get(id); !errors.Is(err, vcrypto.ErrShredded) {
+				return fail(fmt.Errorf("%w: %s: shredded record's data key is still obtainable", ErrTampered, id))
+			}
+			if v.keys.HasCachedDEK(id) {
+				return fail(fmt.Errorf("%w: %s: plaintext DEK cached after shred", ErrTampered, id))
+			}
+		}
 		for _, ver := range st.versions {
 			// Sanitized records have no bytes left on the medium — by
 			// design. Their commitment leaves still verify below.

@@ -20,12 +20,13 @@ import (
 // own ID namespace while reads, searches, and audits roam across all of
 // them. Execution stays sequential, so the reference model remains exact.
 type gen struct {
-	rng    *rand.Rand
-	plan   Plan
-	seq    int   // uniquifier for payloads ("case0042")
-	nextID []int // per-worker record counter
-	conds  []string
-	cats   []string
+	rng     *rand.Rand
+	plan    Plan
+	seq     int   // uniquifier for payloads ("case0042")
+	nextID  []int // per-worker record counter
+	conds   []string
+	cats    []string
+	pending []Step // queued follow-up probes (read-after-shred etc.)
 }
 
 func newGen(plan Plan) *gen {
@@ -91,8 +92,19 @@ func (g *gen) readActor() string {
 	}
 }
 
-// next produces the next step given the model's current state.
+// push queues a follow-up step to be emitted before the next random roll.
+// Queued steps land in the trace like any other, so replay and shrinking
+// need no special handling.
+func (g *gen) push(s Step) { g.pending = append(g.pending, s) }
+
+// next produces the next step given the model's current state. Queued
+// follow-up probes drain first.
 func (g *gen) next(m *Model) Step {
+	if len(g.pending) > 0 {
+		s := g.pending[0]
+		g.pending = g.pending[1:]
+		return s
+	}
 	total := 88
 	if g.plan.Durable {
 		total += 4 // crash + enospc
@@ -215,7 +227,16 @@ func (g *gen) genGet(m *Model) Step {
 	s := Step{Op: OpGet, Actor: g.readActor()}
 	id, ok := g.anyRecord(m)
 	if !ok || g.pct(10) {
-		s.Record = "w0-r9999" // unknown-record probe
+		if g.pct(40) {
+			// Probe the ID the next Put in some worker's namespace will
+			// create. Today it is not-found (and enters the negative-lookup
+			// cache); once that Put lands, a later read of the same ID must
+			// succeed — a stale negative entry would diverge from the model.
+			w := g.rng.Intn(g.plan.Workers)
+			s.Record = fmt.Sprintf("w%d-r%04d", w, g.nextID[w])
+		} else {
+			s.Record = "w0-r9999" // unknown-record probe
+		}
 		return s
 	}
 	s.Record = id
@@ -321,6 +342,27 @@ func (g *gen) genShred(m *Model) Step {
 		s.Record = id
 	} else {
 		s.Record = "w0-r9999"
+	}
+	faulted := g.plan.Durable && g.pct(20)
+	if faulted {
+		// Crash-during-shred: arm a media fault to fire within the next few
+		// mutating fs ops — typically inside this shred's WAL append — so
+		// recovery replays (or legitimately loses) a half-landed shred. The
+		// shred itself moves to the queue, after the arming step.
+		g.push(s)
+	}
+	// Read-after-shred probe: immediately read what was (maybe) just
+	// destroyed. If the shred succeeded, any cache layer still serving the
+	// record is a divergence; if it was denied or blocked by retention, the
+	// read is ordinary traffic the model predicts either way.
+	g.push(Step{Op: OpGet, Actor: "dr-house", Record: s.Record})
+	if g.pct(35) {
+		// Follow with the deep sweep: VerifyAll's secure-deletion check
+		// proves the key is unobtainable and no plaintext DEK stayed cached.
+		g.push(Step{Op: OpVerify})
+	}
+	if faulted {
+		return Step{Op: OpENOSPC, N: g.rng.Intn(4)}
 	}
 	return s
 }

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"medvault/internal/ehr"
+	"medvault/internal/vcrypto"
+)
+
+// staleDEKDivergence reports whether a divergence is the deep check catching
+// a DEK that survived its record's shred — either because the keystore still
+// serves the key (the cache satisfies Get) or because the plaintext copy is
+// still resident in the cache.
+func staleDEKDivergence(d *Divergence) bool {
+	if d == nil {
+		return false
+	}
+	return strings.Contains(d.Msg, "data key is still obtainable") ||
+		strings.Contains(d.Msg, "plaintext DEK cached after shred")
+}
+
+// TestRevertShredInvalidationCaught is the revert-the-invalidation check: if
+// Shred stops purging the plaintext-DEK cache (simulated via a test hook),
+// the very next deep sweep must diverge — and the shrinker must reduce the
+// failure to the minimal put/shred/verify core.
+//
+// This is the property the whole read-cache design hangs on: caching must be
+// invisible to crypto-shredding. A cache that keeps a destroyed record's key
+// warm is equivalent to not shredding at all, and the simulator treats it as
+// tampering, not as a performance detail.
+func TestRevertShredInvalidationCaught(t *testing.T) {
+	vcrypto.TestHookKeepDEKCacheOnShred.Store(true)
+	defer vcrypto.TestHookKeepDEKCacheOnShred.Store(false)
+
+	decoy := func() Step {
+		return Step{Op: OpGet, Actor: "dr-house", Record: "w0-r9999"}
+	}
+	put := Step{
+		Op: OpPut, Actor: "dr-house", Record: "w0-r0000",
+		MRN: "MRN-1001", Patient: "patient-1001",
+		Category: string(ehr.CategoryClinical),
+		Title:    "clinical note 0001",
+		Body:     "patient-1001 presenting with influenza, case0001",
+		Backdate: 9 * 365 * 24, // old enough that retention has lapsed
+	}
+	shred := Step{Op: OpShred, Actor: "arch-lee", Record: "w0-r0000"}
+
+	// Bury the real failure among decoys so shrinking has work to do.
+	var steps []Step
+	for i := 0; i < 6; i++ {
+		steps = append(steps, decoy())
+	}
+	steps = append(steps, put, decoy(), decoy(), shred, decoy(), Step{Op: OpVerify})
+
+	tr := Trace{Plan: Plan{Format: traceFormat, Seed: 1, Workers: 1, Name: "stale-dek"}, Steps: steps}
+	d := Replay(tr, nil)
+	if !staleDEKDivergence(d) {
+		t.Fatalf("shred without cache invalidation was not caught; divergence = %v", d)
+	}
+
+	fails := func(t Trace) bool { return staleDEKDivergence(Replay(t, nil)) }
+	min := Shrink(tr, fails, 0, t.Logf)
+	if len(min.Steps) > 3 {
+		t.Fatalf("shrunk repro has %d steps, want <= 3: %v", len(min.Steps), min.Steps)
+	}
+	if !fails(min) {
+		t.Fatalf("shrunk repro no longer fails: %v", min.Steps)
+	}
+
+	// Sanity: with invalidation restored, the identical trace is clean —
+	// proving the divergence above was the cache's fault, nothing else.
+	vcrypto.TestHookKeepDEKCacheOnShred.Store(false)
+	if d := Replay(tr, nil); d != nil {
+		t.Fatalf("trace diverges even with shred invalidation active: %v", d)
+	}
+}
+
+// TestReadAfterShredProbesGenerated pins the generator contract the probes
+// rely on: every generated shred step is immediately followed in the trace
+// by a read of the same record.
+func TestReadAfterShredProbesGenerated(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tr, d := Run(RunOpts{Seed: seed, Ops: 260, Workers: 2})
+		if d != nil {
+			t.Fatalf("seed %d diverged: %v", seed, d)
+		}
+		shreds := 0
+		for i, s := range tr.Steps {
+			if s.Op != OpShred {
+				continue
+			}
+			shreds++
+			if i >= len(tr.Steps)-2 {
+				// A shred in the final generated slot leaves its probe in the
+				// generator's queue when the run ends; only the closing
+				// OpVerify follows it.
+				break
+			}
+			next := tr.Steps[i+1]
+			if next.Op != OpGet || next.Record != s.Record {
+				t.Fatalf("seed %d step %d: shred of %s not followed by its read probe (got %s %s)",
+					seed, i, s.Record, next.Op, next.Record)
+			}
+		}
+		if shreds == 0 {
+			t.Fatalf("seed %d generated no shreds in 260 ops", seed)
+		}
+	}
+}

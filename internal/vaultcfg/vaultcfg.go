@@ -51,14 +51,31 @@ func GenerateMasterKey() (vcrypto.Key, string, error) {
 	return k, hex.EncodeToString(k[:]), nil
 }
 
+// Options carries the tunables a deployment may want to set; the zero value
+// selects the defaults. Cache knobs follow core.Config semantics: zero means
+// default, negative disables that cache layer.
+type Options struct {
+	DEKCacheEntries int   // plaintext-DEK cache bound (entries)
+	BlockCacheBytes int64 // ciphertext block cache bound (bytes)
+	NegCacheEntries int   // negative-lookup cache bound (entries)
+}
+
 // Open opens (creating if needed) the durable vault at dir with the given
 // master key and system name, loading roles and principals.
 func Open(dir, name string, master vcrypto.Key) (*core.Vault, error) {
+	return OpenWith(dir, name, master, Options{})
+}
+
+// OpenWith is Open with explicit Options.
+func OpenWith(dir, name string, master vcrypto.Key, opt Options) (*core.Vault, error) {
 	v, err := core.Open(core.Config{
 		Name:                    name,
 		Master:                  master,
 		Dir:                     dir,
 		AuditCheckpointInterval: 1000,
+		DEKCacheEntries:         opt.DEKCacheEntries,
+		BlockCacheBytes:         opt.BlockCacheBytes,
+		NegCacheEntries:         opt.NegCacheEntries,
 	})
 	if err != nil {
 		return nil, err

@@ -2,11 +2,14 @@ package vcrypto
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+
+	"medvault/internal/obs"
 )
 
 // KeyStore manages per-record data-encryption keys (DEKs). Every DEK is held
@@ -20,21 +23,49 @@ import (
 // crypto-shredding construction MedVault uses to satisfy the secure-deletion
 // and media re-use mandates (HIPAA §164.310(d)(2)(i)-(ii)).
 //
+// To keep the hot read path off the AES-GCM unwrap, the store carries a
+// bounded plaintext-DEK cache (see dekcache.go). The cache is designed
+// around invalidation first: Shred removes and zeroizes its entry
+// synchronously — before Shred returns, no caller can obtain the key from
+// any path — and evicted entries are zeroized before release. Rewrap
+// deliberately does NOT invalidate: rotation changes only the wrapping of
+// each DEK, never the DEK itself, so cached plaintext keys stay valid.
+//
 // KeyStore is safe for concurrent use.
 type KeyStore struct {
 	mu       sync.RWMutex
 	master   Key
 	wrapped  map[string][]byte // record ID -> Seal(master, DEK, aad=id)
 	shredded map[string]bool   // tombstones for destroyed keys
+	cache    *dekCache         // plaintext DEKs; lock order: mu → cache.mu
 }
 
-// NewKeyStore returns an empty KeyStore protected by master.
+// NewKeyStore returns an empty KeyStore protected by master, with the
+// default-sized DEK cache.
 func NewKeyStore(master Key) *KeyStore {
+	return NewKeyStoreCached(master, DefaultDEKCacheCap)
+}
+
+// NewKeyStoreCached returns an empty KeyStore protected by master with a
+// DEK cache bounded to cacheCap entries; cacheCap <= 0 disables caching, so
+// every Get pays the full unwrap.
+func NewKeyStoreCached(master Key, cacheCap int) *KeyStore {
 	return &KeyStore{
 		master:   master,
 		wrapped:  make(map[string][]byte),
 		shredded: make(map[string]bool),
+		cache:    newDEKCache(cacheCap),
 	}
+}
+
+// SetCacheCapacity replaces the DEK cache with an empty one bounded to
+// cacheCap entries (<= 0 disables caching), zeroizing whatever the old cache
+// held. Used by vault open paths that size the cache after LoadKeyStore.
+func (ks *KeyStore) SetCacheCapacity(cacheCap int) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.cache.purge()
+	ks.cache = newDEKCache(cacheCap)
 }
 
 // Create generates, wraps, and registers a fresh DEK for id, returning the
@@ -60,27 +91,79 @@ func (ks *KeyStore) Create(id string) (Key, error) {
 		return Key{}, fmt.Errorf("vcrypto: wrapping DEK for %s: %w", id, err)
 	}
 	ks.wrapped[id] = blob
+	// Writers read what they just wrote: warm the cache so the first Get
+	// after a Put is already a hit. Safe under ks.mu (lock order mu → cache.mu).
+	ks.cache.put(id, dek)
 	return dek, nil
 }
 
 // Get unwraps and returns the DEK for id. It returns ErrShredded if the key
-// was destroyed and ErrNoKey if it never existed.
+// was destroyed and ErrNoKey if it never existed. A cache hit skips the
+// AES-GCM unwrap entirely; Shred's synchronous invalidation guarantees a hit
+// can never serve a destroyed key.
 func (ks *KeyStore) Get(id string) (Key, error) {
+	dek, _, err := ks.get(id)
+	return dek, err
+}
+
+// GetCtx is Get recording a "keystore.get" span (with a dek_cache hit/miss
+// attribute) on the trace carried by ctx.
+func (ks *KeyStore) GetCtx(ctx context.Context, id string) (Key, error) {
+	_, sp := obs.StartSpan(ctx, "keystore.get")
+	dek, hit, err := ks.get(id)
+	if hit {
+		sp.SetAttr("dek_cache", "hit")
+	} else {
+		sp.SetAttr("dek_cache", "miss")
+	}
+	sp.End(err)
+	return dek, err
+}
+
+func (ks *KeyStore) get(id string) (Key, bool, error) {
+	if dek, ok := ks.cache.get(id); ok {
+		metDEKCacheHits.Inc()
+		return dek, true, nil
+	}
+	metDEKCacheMisses.Inc()
 	ks.mu.RLock()
-	blob, ok := ks.wrapped[id]
+	// Copy the wrapped blob and master under the read lock: Shred zeroes the
+	// blob in place and Rewrap swaps the master, both under the write lock,
+	// so neither may be touched after RUnlock.
+	master := ks.master
 	shred := ks.shredded[id]
+	var blob []byte
+	if b, ok := ks.wrapped[id]; ok {
+		blob = append([]byte(nil), b...)
+	}
 	ks.mu.RUnlock()
 	if shred {
-		return Key{}, fmt.Errorf("%w: %s", ErrShredded, id)
+		return Key{}, false, fmt.Errorf("%w: %s", ErrShredded, id)
 	}
-	if !ok {
-		return Key{}, fmt.Errorf("%w: %s", ErrNoKey, id)
+	if blob == nil {
+		return Key{}, false, fmt.Errorf("%w: %s", ErrNoKey, id)
 	}
-	raw, err := Open(ks.master, blob, []byte(id))
+	raw, err := Open(master, blob, []byte(id))
 	if err != nil {
-		return Key{}, fmt.Errorf("vcrypto: unwrapping DEK for %s: %w", id, err)
+		return Key{}, false, fmt.Errorf("vcrypto: unwrapping DEK for %s: %w", id, err)
 	}
-	return KeyFromBytes(raw)
+	dek, err := KeyFromBytes(raw)
+	for i := range raw {
+		raw[i] = 0
+	}
+	if err != nil {
+		return Key{}, false, err
+	}
+	// Insert under the write lock, re-checking the tombstone: a Shred may
+	// have completed between RUnlock and here, and caching the key it just
+	// destroyed would resurrect it. The blob-presence check covers the same
+	// window for stores mutated by other paths.
+	ks.mu.Lock()
+	if _, live := ks.wrapped[id]; live && !ks.shredded[id] {
+		ks.cache.put(id, dek)
+	}
+	ks.mu.Unlock()
+	return dek, false, nil
 }
 
 // Shred destroys the DEK for id, making all ciphertext sealed under it
@@ -101,7 +184,34 @@ func (ks *KeyStore) Shred(id string) error {
 	}
 	delete(ks.wrapped, id)
 	ks.shredded[id] = true
+	// Invalidate the plaintext-DEK cache synchronously, before Shred returns:
+	// secure deletion is only complete once no copy of the key — wrapped or
+	// cached — remains obtainable. The entry is zeroized, not just dropped.
+	if !TestHookKeepDEKCacheOnShred.Load() {
+		ks.cache.invalidate(id)
+	}
 	return nil
+}
+
+// Purge zeroizes and drops every cached plaintext DEK, returning how many
+// entries were held. Vault Close calls it so no key material outlives the
+// store's lifecycle; the wrapped blobs are untouched.
+func (ks *KeyStore) Purge() int {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return ks.cache.purge()
+}
+
+// HasCachedDEK reports whether a plaintext DEK for id is currently cached.
+// VerifyAll uses it to prove that no shredded record's key survives in
+// memory; tests use it to pin cache lifecycle semantics.
+func (ks *KeyStore) HasCachedDEK(id string) bool {
+	return ks.cache.has(id)
+}
+
+// CachedDEKs returns the number of plaintext DEKs currently cached.
+func (ks *KeyStore) CachedDEKs() int {
+	return ks.cache.len()
 }
 
 // AdoptWrapped registers an existing wrapped DEK blob for id, as replayed
@@ -139,8 +249,9 @@ func (ks *KeyStore) WrappedFor(id string) ([]byte, error) {
 // Rewrap re-encrypts every live DEK under newMaster and switches the store
 // to it — periodic key rotation, as key-management policy (and HIPAA's
 // "reasonable safeguards" guidance) expects. Data keys themselves do not
-// change, so no ciphertext needs rewriting; only the small wrapped blobs do.
-// On any failure the store is left unchanged.
+// change, so no ciphertext needs rewriting — and for the same reason the
+// plaintext-DEK cache is deliberately left warm: its entries are the DEKs,
+// which rotation does not touch. On any failure the store is left unchanged.
 func (ks *KeyStore) Rewrap(newMaster Key) error {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
@@ -230,7 +341,7 @@ func (ks *KeyStore) Snapshot() []byte {
 func LoadKeyStore(master Key, snap []byte) (*KeyStore, error) {
 	r := bytes.NewReader(snap)
 	magic := make([]byte, 4)
-	if _, err := r.Read(magic); err != nil || string(magic) != ksMagic {
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != ksMagic {
 		return nil, fmt.Errorf("vcrypto: bad keystore snapshot magic")
 	}
 	ver, err := readU16(r)
