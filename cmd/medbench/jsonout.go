@@ -15,18 +15,21 @@ import (
 // aggregate numbers — per-op and per-span quantiles read back from the same
 // process-wide registry the tables render, plus the tracer's lifetime
 // counters — to the first free BENCH_<n>.json in the working directory.
-// The schema is versioned ("medvault-bench/v1") and documented in
+// The schema is versioned ("medvault-bench/v2") and documented in
 // EXPERIMENTS.md; consumers must ignore unknown fields.
 
 // benchSchema versions the JSON layout. Bump it on any incompatible change.
-const benchSchema = "medvault-bench/v1"
+// v2 added the top-level shard count plus the get-phase and per-shard op
+// fields on scaling rows.
+const benchSchema = "medvault-bench/v2"
 
 // benchReport is the top-level BENCH_<n>.json document.
 type benchReport struct {
 	Schema      string       `json:"schema"`
 	Generated   time.Time    `json:"generated"`
-	Mode        string       `json:"mode"`  // "experiments", "scaling", or "reads"
-	Scale       string       `json:"scale"` // "full" or "quick"
+	Mode        string       `json:"mode"`   // "experiments", "scaling", or "reads"
+	Scale       string       `json:"scale"`  // "full" or "quick"
+	Shards      int          `json:"shards"` // cluster shard count the run used (1 = classic vault)
 	Backend     string       `json:"backend,omitempty"`
 	CacheConfig string       `json:"cache_config,omitempty"` // reads mode: "enabled" or "disabled"
 	GoMaxProcs  int          `json:"gomaxprocs"`
@@ -65,15 +68,26 @@ type traceCounts struct {
 	SampledOut uint64 `json:"sampled_out"`
 }
 
-// scalingRow is one line of the -workers table.
+// scalingRow is one line of the -workers table. Shards is the row's cluster
+// size (a multi-count -shards run tables several). The shard_puts/shard_gets
+// arrays (index = shard number) are present only for multi-shard runs; they
+// are read from the shard-labeled counter series, so they double as a check
+// that routing actually spread the deterministic ID set.
 type scalingRow struct {
-	Workers      int     `json:"workers"`
-	Puts         uint64  `json:"puts"`
-	Seconds      float64 `json:"seconds"`
-	PutsPerSec   float64 `json:"puts_per_sec"`
-	Speedup      float64 `json:"speedup"`
-	GroupCommits uint64  `json:"group_commits"`
-	WALAppends   uint64  `json:"wal_appends"`
+	Shards       int      `json:"shards"`
+	Workers      int      `json:"workers"`
+	Puts         uint64   `json:"puts"`
+	Seconds      float64  `json:"seconds"`
+	PutsPerSec   float64  `json:"puts_per_sec"`
+	Speedup      float64  `json:"speedup"`
+	Gets         uint64   `json:"gets"`
+	GetSeconds   float64  `json:"get_seconds"`
+	GetsPerSec   float64  `json:"gets_per_sec"`
+	GetSpeedup   float64  `json:"get_speedup"`
+	GroupCommits uint64   `json:"group_commits"`
+	WALAppends   uint64   `json:"wal_appends"`
+	ShardPuts    []uint64 `json:"shard_puts,omitempty"`
+	ShardGets    []uint64 `json:"shard_gets,omitempty"`
 }
 
 // writeBenchJSON fills rep's registry-derived fields and writes it to the
@@ -130,16 +144,18 @@ func histRows(metric, label string) []histRow {
 	return nil
 }
 
-// cacheRows reads each read-cache layer's counters from the registry.
+// cacheRows reads each read-cache layer's counters from the registry,
+// summed over the shard label so multi-shard runs report whole-cluster
+// per-layer totals.
 func cacheRows() []cacheRow {
 	rows := make([]cacheRow, 0, 3)
 	for _, layer := range []string{"dek", "block", "negative"} {
 		l := obs.L("cache", layer)
 		row := cacheRow{
 			Cache:     layer,
-			Hits:      uint64(counterValue("medvault_cache_hits_total", l)),
-			Misses:    uint64(counterValue("medvault_cache_misses_total", l)),
-			Evictions: uint64(counterValue("medvault_cache_evictions_total", l)),
+			Hits:      uint64(counterSum("medvault_cache_hits_total", l)),
+			Misses:    uint64(counterSum("medvault_cache_misses_total", l)),
+			Evictions: uint64(counterSum("medvault_cache_evictions_total", l)),
 		}
 		if total := row.Hits + row.Misses; total > 0 {
 			row.HitRate = float64(row.Hits) / float64(total)

@@ -8,9 +8,10 @@
 //	medbench -scale quick     # CI-sized run
 //	medbench -e e1,e3         # selected experiments only
 //	medbench -workers 8       # concurrency scaling table instead of E1–E9
+//	medbench -workers 8 -shards 4     # same table over a 4-shard cluster
 //	medbench -reads 20000     # read-path benchmark (repeated Gets, hot cache)
 //	medbench -reads 20000 -no-cache   # same workload with every cache layer off
-//	medbench -json            # also write BENCH_<n>.json (schema medvault-bench/v1)
+//	medbench -json            # also write BENCH_<n>.json (schema medvault-bench/v2)
 //
 // -json writes the run's aggregate numbers — per-op and per-span latency
 // quantiles, trace counters, and (in -workers mode) the scaling rows — to
@@ -25,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,17 +47,27 @@ func main() {
 		jsonOut = flag.Bool("json", false, "also write machine-readable results to the first free BENCH_<n>.json")
 		reads   = flag.Int("reads", 0, "when > 0, run the read-path benchmark: this many Gets over a small warmed record set instead of the experiments")
 		noCache = flag.Bool("no-cache", false, "disable every read-cache layer (DEK, block, negative) — the before side of a cache before/after")
+		shards  = flag.String("shards", "1", "shard count for the -workers and -reads vaults (1 = classic single vault); -workers also accepts a comma-separated list (e.g. 1,4) to table each count in one run")
 	)
 	flag.Parse()
+	shardCounts, err := parseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "medbench:", err)
+		os.Exit(1)
+	}
 	if *reads > 0 {
-		if err := runReads(*reads, *backend, *scale, *noCache, *jsonOut); err != nil {
+		if len(shardCounts) != 1 {
+			fmt.Fprintln(os.Stderr, "medbench: -reads takes a single -shards count")
+			os.Exit(1)
+		}
+		if err := runReads(*reads, *backend, *scale, shardCounts[0], *noCache, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "medbench:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *workers > 0 {
-		if err := runScaling(*workers, *backend, *scale, *jsonOut); err != nil {
+		if err := runScaling(*workers, *backend, *scale, shardCounts, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "medbench:", err)
 			os.Exit(1)
 		}
@@ -118,18 +130,19 @@ func run(which, scale string, jsonOut bool) error {
 	}
 	printMetricsBreakdown(os.Stdout)
 	if jsonOut {
-		return writeBenchJSON(benchReport{Mode: "experiments", Scale: scale})
+		return writeBenchJSON(benchReport{Mode: "experiments", Scale: scale, Shards: 1})
 	}
 	return nil
 }
 
-// runScaling measures Put throughput against one vault as the number of
-// concurrent workers grows — the end-to-end check on the striped lock
-// manager and WAL group commit. Every number in the table is read back from
-// the process-wide metrics registry (counter deltas around each run), not
-// from harness-side bookkeeping, so the table exercises the same
-// observability surface medvaultd exposes on /metrics.
-func runScaling(maxWorkers int, backend, scale string, jsonOut bool) error {
+// runScaling measures Put and Get throughput against one vault (or one
+// multi-shard cluster) as the number of concurrent workers grows — the
+// end-to-end check on the striped lock manager, WAL group commit, and shard
+// routing. Every number in the table is read back from the process-wide
+// metrics registry (counter deltas around each run), not from harness-side
+// bookkeeping, so the table exercises the same observability surface
+// medvaultd exposes on /metrics.
+func runScaling(maxWorkers int, backend, scale string, shardCounts []int, jsonOut bool) error {
 	if backend != "memory" && backend != "file" {
 		return fmt.Errorf("unknown backend %q (want memory or file)", backend)
 	}
@@ -138,7 +151,7 @@ func runScaling(maxWorkers int, backend, scale string, jsonOut bool) error {
 	}
 	total := 2000
 	if backend == "file" {
-		total = 600 // every batch fsyncs; keep wall time sane
+		total = 1200 // every batch fsyncs; keep wall time sane
 	}
 	if scale == "quick" {
 		total /= 5
@@ -152,47 +165,85 @@ func runScaling(maxWorkers int, backend, scale string, jsonOut bool) error {
 		series = append(series, maxWorkers)
 	}
 
-	fmt.Printf("MedVault concurrency scaling — backend=%s, %d puts per run, GOMAXPROCS=%d\n",
-		backend, total, runtime.GOMAXPROCS(0))
-	fmt.Printf("(speedup is relative to the 1-worker run; on a single-CPU host the memory\n")
-	fmt.Printf("backend cannot exceed 1× — the file backend still gains from shared fsyncs)\n\n")
-	fmt.Printf("  %7s %8s %9s %10s %8s", "workers", "puts", "seconds", "puts/sec", "speedup")
-	if backend == "file" {
-		fmt.Printf(" %8s %9s", "fsyncs", "batching")
-	}
-	fmt.Println()
+	fmt.Printf("(speedup is relative to the first table's 1-worker run; on a single-CPU host\n")
+	fmt.Printf("the memory backend cannot exceed 1× — the file backend still gains from shared\n")
+	fmt.Printf("fsyncs, and a sharded file cluster additionally overlaps per-shard WAL fsyncs)\n")
 
-	var baseline float64
+	// One table per shard count, every row's speedup measured against the
+	// single baseline, so a 4-shard row reads directly as "× the 1-shard
+	// 1-worker rate" when the list starts at 1.
+	var putBase, getBase float64
 	var rows []scalingRow
-	for _, w := range series {
-		r, err := scalingRun(w, total, backend)
-		if err != nil {
-			return err
-		}
-		if baseline == 0 {
-			baseline = r.rate
-		}
-		rows = append(rows, scalingRow{
-			Workers: w, Puts: r.puts, Seconds: r.secs,
-			PutsPerSec: r.rate, Speedup: r.rate / baseline,
-			GroupCommits: r.groupCommits, WALAppends: r.walAppends,
-		})
-		fmt.Printf("  %7d %8d %9.3f %10.0f %7.2fx", w, r.puts, r.secs, r.rate, r.rate/baseline)
+	for _, shards := range shardCounts {
+		fmt.Printf("\nMedVault concurrency scaling — backend=%s, shards=%d, %d puts per run, GOMAXPROCS=%d\n\n",
+			backend, shards, total, runtime.GOMAXPROCS(0))
+		fmt.Printf("  %7s %8s %9s %10s %8s %8s %10s %8s", "workers", "puts", "seconds", "puts/sec", "speedup", "gets", "gets/sec", "gspeedup")
 		if backend == "file" {
-			batching := float64(r.walAppends)
-			if r.groupCommits > 0 {
-				batching /= float64(r.groupCommits)
-			}
-			fmt.Printf(" %8d %9.1f", r.groupCommits, batching)
+			fmt.Printf(" %8s %9s", "fsyncs", "batching")
 		}
 		fmt.Println()
+
+		for _, w := range series {
+			r, err := scalingRun(w, total, shards, backend)
+			if err != nil {
+				return err
+			}
+			if putBase == 0 {
+				putBase = r.rate
+			}
+			if getBase == 0 {
+				getBase = r.getRate
+			}
+			rows = append(rows, scalingRow{
+				Shards: shards, Workers: w, Puts: r.puts, Seconds: r.secs,
+				PutsPerSec: r.rate, Speedup: r.rate / putBase,
+				Gets: r.gets, GetSeconds: r.getSecs,
+				GetsPerSec: r.getRate, GetSpeedup: r.getRate / getBase,
+				GroupCommits: r.groupCommits, WALAppends: r.walAppends,
+				ShardPuts: r.shardPuts, ShardGets: r.shardGets,
+			})
+			fmt.Printf("  %7d %8d %9.3f %10.0f %7.2fx %8d %10.0f %7.2fx",
+				w, r.puts, r.secs, r.rate, r.rate/putBase,
+				r.gets, r.getRate, r.getRate/getBase)
+			if backend == "file" {
+				batching := float64(r.walAppends)
+				if r.groupCommits > 0 {
+					batching /= float64(r.groupCommits)
+				}
+				fmt.Printf(" %8d %9.1f", r.groupCommits, batching)
+			}
+			fmt.Println()
+			if len(r.shardPuts) > 0 {
+				fmt.Printf("  %7s per-shard puts %v, gets %v\n", "", r.shardPuts, r.shardGets)
+			}
+		}
 	}
 	if jsonOut {
+		maxShards := 1
+		for _, s := range shardCounts {
+			if s > maxShards {
+				maxShards = s
+			}
+		}
 		return writeBenchJSON(benchReport{
-			Mode: "scaling", Scale: scale, Backend: backend, Scaling: rows,
+			Mode: "scaling", Scale: scale, Backend: backend, Shards: maxShards, Scaling: rows,
 		})
 	}
 	return nil
+}
+
+// parseShards parses the -shards flag: one shard count, or a comma-separated
+// list of counts for -workers mode.
+func parseShards(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 || n > core.MaxShards {
+			return nil, fmt.Errorf("-shards %q: each count must be 1..%d", s, core.MaxShards)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // runReads measures the hot read path: a small record set is written once,
@@ -201,7 +252,7 @@ func runScaling(maxWorkers int, backend, scale string, jsonOut bool) error {
 // no AES-GCM DEK unwrap, no blockstore read; with -no-cache every Get pays
 // the full pipeline. Running both and diffing the BENCH JSONs is the
 // before/after the bench trajectory records.
-func runReads(total int, backend, scale string, noCache, jsonOut bool) error {
+func runReads(total int, backend, scale string, shards int, noCache, jsonOut bool) error {
 	if backend != "memory" && backend != "file" {
 		return fmt.Errorf("unknown backend %q (want memory or file)", backend)
 	}
@@ -230,7 +281,7 @@ func runReads(total int, backend, scale string, noCache, jsonOut bool) error {
 		defer os.RemoveAll(dir)
 		cfg.Dir = dir
 	}
-	v, err := core.Open(cfg)
+	v, err := core.OpenCluster(cfg, shards)
 	if err != nil {
 		return err
 	}
@@ -256,8 +307,8 @@ func runReads(total int, backend, scale string, noCache, jsonOut bool) error {
 	if noCache {
 		cacheState = "disabled"
 	}
-	fmt.Printf("MedVault read-path benchmark — backend=%s, %d records, %d gets, caches %s\n\n",
-		backend, records, total, cacheState)
+	fmt.Printf("MedVault read-path benchmark — backend=%s, shards=%d, %d records, %d gets, caches %s\n\n",
+		backend, shards, records, total, cacheState)
 
 	known, unknown := 0, 0
 	start := time.Now()
@@ -283,7 +334,7 @@ func runReads(total int, backend, scale string, noCache, jsonOut bool) error {
 	printCacheCounters(os.Stdout)
 	if jsonOut {
 		return writeBenchJSON(benchReport{
-			Mode: "reads", Scale: scale, Backend: backend, CacheConfig: cacheState,
+			Mode: "reads", Scale: scale, Backend: backend, Shards: shards, CacheConfig: cacheState,
 		})
 	}
 	return nil
@@ -303,13 +354,28 @@ type scalingResult struct {
 	puts         uint64
 	secs         float64
 	rate         float64
+	gets         uint64
+	getSecs      float64
+	getRate      float64
 	groupCommits uint64
 	walAppends   uint64
+	shardPuts    []uint64 // per-shard successful puts, nil when shards == 1
+	shardGets    []uint64
 }
 
-// scalingRun drives total puts through a fresh vault from w workers and
-// reports registry counter deltas plus wall time.
-func scalingRun(w, total int, backend string) (scalingResult, error) {
+// scaleRecordID names the i'th record of worker g in the w-worker series
+// entry. The ID is a pure function of (w, g, i) — no timestamps, no
+// randomness — so every run of a given table row writes the exact same ID
+// set, and the records' spread over cluster shards (core.ShardOf over these
+// IDs) is reproducible run-to-run and comparable across hosts.
+func scaleRecordID(w, g, i int) string {
+	return fmt.Sprintf("scale-w%d-g%d-%d", w, g, i)
+}
+
+// scalingRun drives total puts, then total read-backs, through a fresh
+// vault (or shards-wide cluster) from w workers and reports registry
+// counter deltas plus wall time for each phase.
+func scalingRun(w, total, shards int, backend string) (scalingResult, error) {
 	cfg := core.Config{Name: "medbench-scaling", Master: mustNewKey(), Clock: nil}
 	var dir string
 	if backend == "file" {
@@ -320,7 +386,7 @@ func scalingRun(w, total int, backend string) (scalingResult, error) {
 		defer os.RemoveAll(dir)
 		cfg.Dir = dir
 	}
-	v, err := core.Open(cfg)
+	v, err := core.OpenCluster(cfg, shards)
 	if err != nil {
 		return scalingResult{}, err
 	}
@@ -330,9 +396,13 @@ func scalingRun(w, total int, backend string) (scalingResult, error) {
 		return scalingResult{}, err
 	}
 
-	putsBefore := counterValue("medvault_core_ops_total", obs.L("op", "put"), obs.L("outcome", "ok"))
+	putLabels := []obs.Label{obs.L("op", "put"), obs.L("outcome", "ok")}
+	getLabels := []obs.Label{obs.L("op", "get"), obs.L("outcome", "ok")}
+	putsBefore := counterSum("medvault_core_ops_total", putLabels...)
 	gcBefore := counterValue("medvault_wal_group_commits_total")
 	walBefore := counterValue("medvault_wal_appends_total")
+	shardPutsBefore := shardOpCounts(shards, "put")
+	shardGetsBefore := shardOpCounts(shards, "get")
 
 	perWorker := total / w
 	var wg sync.WaitGroup
@@ -344,7 +414,7 @@ func scalingRun(w, total int, backend string) (scalingResult, error) {
 			defer wg.Done()
 			for i := 0; i < perWorker; i++ {
 				rec := ehr.Record{
-					ID:      fmt.Sprintf("scale-w%d-g%d-%d", w, g, i),
+					ID:      scaleRecordID(w, g, i),
 					Patient: "Scaling Patient", MRN: fmt.Sprintf("mrn-%d-%d-%d", w, g, i),
 					Category: ehr.CategoryClinical, Author: "bench-admin",
 					CreatedAt: experiments.Epoch,
@@ -364,14 +434,78 @@ func scalingRun(w, total int, backend string) (scalingResult, error) {
 		return scalingResult{}, err
 	}
 
-	puts := counterValue("medvault_core_ops_total", obs.L("op", "put"), obs.L("outcome", "ok")) - putsBefore
+	// Read-back phase: each worker re-reads the records it wrote, so the
+	// Get side of the table covers the same ID spread (and, on a cluster,
+	// the same shard routing) as the Put side just exercised. Gets are
+	// orders of magnitude faster than fsynced puts, so each worker makes
+	// several passes — one pass finishes in milliseconds, too short to
+	// measure a rate against scheduler noise.
+	const readRounds = 4
+	getsBefore := counterSum("medvault_core_ops_total", getLabels...)
+	gerrs := make(chan error, w)
+	gstart := time.Now()
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < readRounds; r++ {
+				for i := 0; i < perWorker; i++ {
+					if _, err := a.Get(scaleRecordID(w, g, i)); err != nil {
+						gerrs <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	getElapsed := time.Since(gstart).Seconds()
+	close(gerrs)
+	for err := range gerrs {
+		return scalingResult{}, err
+	}
+
+	puts := counterSum("medvault_core_ops_total", putLabels...) - putsBefore
+	gets := counterSum("medvault_core_ops_total", getLabels...) - getsBefore
 	return scalingResult{
 		puts:         uint64(puts),
 		secs:         elapsed,
 		rate:         puts / elapsed,
+		gets:         uint64(gets),
+		getSecs:      getElapsed,
+		getRate:      gets / getElapsed,
 		groupCommits: uint64(counterValue("medvault_wal_group_commits_total") - gcBefore),
 		walAppends:   uint64(counterValue("medvault_wal_appends_total") - walBefore),
+		shardPuts:    shardDelta(shardOpCounts(shards, "put"), shardPutsBefore),
+		shardGets:    shardDelta(shardOpCounts(shards, "get"), shardGetsBefore),
 	}, nil
+}
+
+// shardOpCounts reads each shard's successful-op counter (the shard-labeled
+// medvault_core_ops_total series a multi-shard cluster emits). Nil for a
+// single vault, which has no shard label.
+func shardOpCounts(shards int, op string) []float64 {
+	if shards <= 1 {
+		return nil
+	}
+	out := make([]float64, shards)
+	for s := range out {
+		out[s] = counterValue("medvault_core_ops_total",
+			obs.L("op", op), obs.L("outcome", "ok"), obs.L("shard", strconv.Itoa(s)))
+	}
+	return out
+}
+
+// shardDelta subtracts per-shard before-counts from after-counts.
+func shardDelta(after, before []float64) []uint64 {
+	if after == nil {
+		return nil
+	}
+	out := make([]uint64, len(after))
+	for i := range after {
+		out[i] = uint64(after[i] - before[i])
+	}
+	return out
 }
 
 // counterValue reads one counter series from the process registry; series
@@ -406,6 +540,40 @@ func counterValue(name string, wanted ...obs.Label) float64 {
 		}
 	}
 	return 0
+}
+
+// counterSum totals every series of one counter family whose labels are a
+// superset of wanted. Where counterValue pins one exact series, counterSum
+// folds a label dimension away: summing {op=put, outcome=ok} counts both the
+// unlabeled single-vault series and every shard-labeled cluster series, so
+// the same bench code reads totals regardless of sharding.
+func counterSum(name string, wanted ...obs.Label) float64 {
+	var sum float64
+	for _, f := range obs.Default.Snapshot() {
+		if f.Name != name {
+			continue
+		}
+		for _, s := range f.Series {
+			match := true
+			for _, want := range wanted {
+				found := false
+				for _, l := range s.Labels {
+					if l == want {
+						found = true
+						break
+					}
+				}
+				if !found {
+					match = false
+					break
+				}
+			}
+			if match {
+				sum += s.Value
+			}
+		}
+	}
+	return sum
 }
 
 func mustNewKey() vcrypto.Key {

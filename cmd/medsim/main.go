@@ -6,8 +6,9 @@
 // run; the trace is then minimized with delta debugging and written next to
 // the full trace for replay.
 //
-//	medsim -quick                 # CI battery: fixed seeds, both backends
+//	medsim -quick                 # CI battery: fixed seeds, both backends, 1- and 4-shard
 //	medsim -seed 42 -ops 2000     # one long seeded run
+//	medsim -quick -shards 4       # the battery forced onto a 4-shard cluster
 //	medsim -replay failure.trace  # re-execute a recorded (shrunk) trace
 //
 // Exit codes: 0 all runs clean, 1 divergence found, 2 usage or I/O error.
@@ -26,6 +27,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed")
 		ops     = flag.Int("ops", 500, "operations to generate")
 		workers = flag.Int("workers", 2, "logical writers to interleave")
+		shards  = flag.Int("shards", 0, "cluster shard count (0 = battery defaults / single vault)")
 		durable = flag.Bool("durable", true, "file-backed vault over the fault-injecting memory disk (false = memory backend)")
 		quick   = flag.Bool("quick", false, "run the fixed CI battery instead of a single seed")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of generating")
@@ -54,9 +56,16 @@ func main() {
 		return
 	}
 
-	runs := []sim.RunOpts{{Seed: *seed, Ops: *ops, Workers: *workers, Durable: *durable, Logf: logf}}
+	runs := []sim.RunOpts{{Seed: *seed, Ops: *ops, Workers: *workers, Shards: *shards, Durable: *durable, Logf: logf}}
 	if *quick {
 		runs = quickBattery(logf)
+		if *shards > 1 {
+			// An explicit -shards forces the whole battery onto that cluster
+			// size, so CI can run the same seeds at 1 and 4 shards.
+			for i := range runs {
+				runs[i].Shards = *shards
+			}
+		}
 	}
 	for _, opts := range runs {
 		backend := "memory"
@@ -65,8 +74,12 @@ func main() {
 		}
 		t, d := sim.Run(opts)
 		if d == nil {
-			fmt.Printf("seed %-4d %-15s %4d ops  %3d workers  clean  trace %s\n",
-				opts.Seed, backend, opts.Ops, opts.Workers, short(t.Hash()))
+			shardNote := ""
+			if opts.Shards > 1 {
+				shardNote = fmt.Sprintf("  %d shards", opts.Shards)
+			}
+			fmt.Printf("seed %-4d %-15s %4d ops  %3d workers%s  clean  trace %s\n",
+				opts.Seed, backend, opts.Ops, opts.Workers, shardNote, short(t.Hash()))
 			if *outPath != "" && !*quick {
 				if err := t.WriteFile(*outPath); err != nil {
 					fmt.Fprintf(os.Stderr, "medsim: writing trace: %v\n", err)
@@ -92,6 +105,13 @@ func quickBattery(logf func(string, ...any)) []sim.RunOpts {
 		runs = append(runs, sim.RunOpts{Seed: seed, Ops: 260, Workers: 1, Logf: logf})
 	}
 	runs = append(runs, sim.RunOpts{Seed: 9, Ops: 300, Workers: 4, Durable: true, Logf: logf})
+	// Sharded entries: the same generator driving a 4-shard cluster, so the
+	// routing, per-shard audit chains, and merge ordering are in the default
+	// battery, not just behind an explicit -shards.
+	runs = append(runs,
+		sim.RunOpts{Seed: 1, Ops: 220, Workers: 2, Shards: 4, Durable: true, Logf: logf},
+		sim.RunOpts{Seed: 2, Ops: 260, Workers: 2, Shards: 4, Logf: logf},
+	)
 	return runs
 }
 

@@ -4,9 +4,10 @@
 // filesystem operation the workload performs, followed by recovery and a
 // full durability audit. See internal/core/torture.go for the invariants.
 //
-//	medtorture          # full matrix: every injection point
-//	medtorture -quick   # CI smoke: every fifth point
-//	medtorture -v       # progress per phase and per failure
+//	medtorture            # full matrix: every injection point
+//	medtorture -quick     # CI smoke: every fifth point
+//	medtorture -shards 4  # torture a 4-shard cluster (per-shard WALs and chains)
+//	medtorture -v         # progress per phase and per failure
 package main
 
 import (
@@ -20,10 +21,11 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "subsample the injection-point matrix (CI smoke)")
 	stride := flag.Int("stride", 0, "test every Nth injection point (overrides -quick's stride)")
+	shards := flag.Int("shards", 0, "cluster shard count (0 or 1 = classic single vault)")
 	verbose := flag.Bool("v", false, "print phase progress")
 	flag.Parse()
 
-	opts := core.TortureOpts{Quick: *quick, Stride: *stride}
+	opts := core.TortureOpts{Quick: *quick, Stride: *stride, Shards: *shards}
 	if *verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
@@ -34,8 +36,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "medtorture: %v\n", err)
 		os.Exit(2)
 	}
-	fmt.Printf("medtorture: %d injection points, %d crash scenarios, %d fault scenarios\n",
-		rep.InjectionPoints, rep.CrashScenarios, rep.FaultScenarios)
+	shardNote := ""
+	if *shards > 1 {
+		shardNote = fmt.Sprintf(" (%d shards)", *shards)
+	}
+	fmt.Printf("medtorture: %d injection points, %d crash scenarios, %d fault scenarios%s\n",
+		rep.InjectionPoints, rep.CrashScenarios, rep.FaultScenarios, shardNote)
 	if rep.Passed() {
 		fmt.Println("medtorture: all durability invariants held")
 		return

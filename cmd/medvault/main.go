@@ -80,7 +80,7 @@ func newVaultFlags(name string) vaultFlags {
 	}
 }
 
-func (vf vaultFlags) open() (*core.Vault, error) {
+func (vf vaultFlags) open() (*core.Cluster, error) {
 	if *vf.dir == "" {
 		return nil, fmt.Errorf("-dir is required")
 	}
@@ -407,8 +407,13 @@ func cmdVerify(args []string) error {
 	}
 	fmt.Printf("OK: %d records, %d versions, %d audit events, %d custody chains verified\n",
 		rep.RecordsChecked, rep.VersionsChecked, rep.AuditEvents, rep.ProvenanceChains)
-	head := v.Head()
-	fmt.Printf("signed tree head: size=%d root=%x…\n", head.Size, head.Root[:8])
+	for i, head := range v.Heads() {
+		if v.NumShards() > 1 {
+			fmt.Printf("shard %d signed tree head: size=%d root=%x…\n", i, head.Size, head.Root[:8])
+		} else {
+			fmt.Printf("signed tree head: size=%d root=%x…\n", head.Size, head.Root[:8])
+		}
+	}
 	return nil
 }
 

@@ -55,15 +55,24 @@ func main() {
 		tlsCert   = flag.String("tls-cert", "", "TLS certificate file (enables HTTPS with -tls-key)")
 		tlsKey    = flag.String("tls-key", "", "TLS private key file")
 		debugAddr = flag.String("debug-addr", "", "optional debug listener (pprof + /debug/traces); bind to loopback")
-		dekCache  = flag.Int("dek-cache", 0, "plaintext-DEK cache entries (0 = default, negative disables)")
-		blockMB   = flag.Int("block-cache-mb", 0, "ciphertext block cache size in MiB (0 = default, negative disables)")
-		negCache  = flag.Int("neg-cache", 0, "negative-lookup cache entries (0 = default, negative disables)")
+		dekCache  = flag.Int("dek-cache", 0, "plaintext-DEK cache entries (0 = default, -1 disables)")
+		blockMB   = flag.Int("block-cache-mb", 0, "ciphertext block cache size in MiB (0 = default, -1 disables)")
+		negCache  = flag.Int("neg-cache", 0, "negative-lookup cache entries (0 = default, -1 disables)")
+		shards    = flag.Int("shards", 0, "shard count for a new vault directory (0 adopts the existing layout)")
 	)
 	flag.Parse()
+	// The MiB flag scales to bytes only for positive sizes; 0 (default) and
+	// the -1 disable sentinel pass through for vaultcfg to validate, so
+	// "-block-cache-mb -7" is rejected instead of shifting into a surprise.
+	blockBytes := int64(*blockMB)
+	if blockBytes > 0 {
+		blockBytes <<= 20
+	}
 	opt := vaultcfg.Options{
 		DEKCacheEntries: *dekCache,
-		BlockCacheBytes: int64(*blockMB) << 20,
+		BlockCacheBytes: blockBytes,
 		NegCacheEntries: *negCache,
+		Shards:          *shards,
 	}
 	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey, *debugAddr, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "medvaultd:", err)
@@ -98,11 +107,23 @@ func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string, opt vau
 	h := v.Health()
 	logger.Info("vault opened",
 		"dir", dir,
+		"shards", v.NumShards(),
 		"records", h.LiveRecords,
 		"durable", h.Durable,
 		"recovery_ran", h.LastRecovery.Ran,
 		"snapshot_loaded", h.LastRecovery.SnapshotLoaded,
 		"wal_entries_replayed", h.LastRecovery.WALEntries)
+	if v.NumShards() > 1 {
+		// Every shard ran its own recovery at open; log each so a shard that
+		// replayed an unexpected WAL tail is visible at startup.
+		for i, sh := range v.ShardHealths() {
+			logger.Info("shard recovered",
+				"shard", i,
+				"records", sh.LiveRecords,
+				"snapshot_loaded", sh.LastRecovery.SnapshotLoaded,
+				"wal_entries_replayed", sh.LastRecovery.WALEntries)
+		}
+	}
 
 	// Slowloris-resistant timeouts: a client that trickles headers or never
 	// reads its response cannot pin a connection (and its vault resources)

@@ -96,13 +96,13 @@ type Archive struct {
 
 // Create takes a full backup of every live record in v, sealed under key.
 // Each record's custody chain gains a backed-up event naming destination.
-func Create(v *core.Vault, actor string, key vcrypto.Key, destination string) (*Archive, error) {
+func Create(v core.API, actor string, key vcrypto.Key, destination string) (*Archive, error) {
 	return create(v, actor, key, destination, nil)
 }
 
 // CreateIncremental backs up only records created or corrected since base
 // (records whose version count grew, plus records base has never seen).
-func CreateIncremental(v *core.Vault, actor string, key vcrypto.Key, destination string, base Manifest) (*Archive, error) {
+func CreateIncremental(v core.API, actor string, key vcrypto.Key, destination string, base Manifest) (*Archive, error) {
 	if err := base.Verify(); err != nil {
 		return nil, fmt.Errorf("backup: base manifest: %w", err)
 	}
@@ -113,7 +113,7 @@ func CreateIncremental(v *core.Vault, actor string, key vcrypto.Key, destination
 	return create(v, actor, key, destination, baseVersions)
 }
 
-func create(v *core.Vault, actor string, key vcrypto.Key, destination string, baseVersions map[string]int) (*Archive, error) {
+func create(v core.API, actor string, key vcrypto.Key, destination string, baseVersions map[string]int) (*Archive, error) {
 	arch := &Archive{Sealed: make(map[string][]byte)}
 	arch.Manifest = Manifest{
 		System:    v.Name(),
@@ -189,7 +189,7 @@ func VerifyArchive(arch *Archive, key vcrypto.Key, trustedKey vcrypto.PublicKey)
 // Restore verifies the archive and ingests every record into target. The
 // target re-encrypts under its own keys; custody chains are adopted and
 // extended with restored events.
-func Restore(arch *Archive, key vcrypto.Key, target *core.Vault, actor string) (int, error) {
+func Restore(arch *Archive, key vcrypto.Key, target core.API, actor string) (int, error) {
 	if err := VerifyArchive(arch, key, nil); err != nil {
 		return 0, err
 	}

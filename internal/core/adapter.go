@@ -20,7 +20,7 @@ import (
 // models, with the vault still paying its own authorization and audit costs
 // on every call.
 type Adapter struct {
-	v     *Vault
+	v     API
 	actor string
 }
 
@@ -29,8 +29,9 @@ var (
 	_ stores.Tamperable = (*Adapter)(nil)
 )
 
-// NewAdapter wraps v, registering a fully privileged bench principal.
-func NewAdapter(v *Vault) (*Adapter, error) {
+// NewAdapter wraps v — a single Vault or a Cluster — registering a fully
+// privileged bench principal.
+func NewAdapter(v API) (*Adapter, error) {
 	const actor = "bench-admin"
 	a := v.Authz()
 	a.DefineRole(authz.NewRole("bench-all-access", []authz.Action{
@@ -117,41 +118,74 @@ func (a *Adapter) Len() int { return a.v.Len() }
 // StorageBytes implements stores.Store.
 func (a *Adapter) StorageBytes() int64 { return a.v.StorageBytes() }
 
+// shardVaults lists the underlying vaults: the vault itself when wrapping a
+// bare Vault, the per-shard vaults in shard order for a Cluster.
+func (a *Adapter) shardVaults() []*Vault {
+	switch t := a.v.(type) {
+	case *Vault:
+		return []*Vault{t}
+	case *Cluster:
+		out := make([]*Vault, t.NumShards())
+		for i := range out {
+			out[i] = t.Shard(i)
+		}
+		return out
+	}
+	return nil
+}
+
+// vaultFor resolves the vault that owns id — the record's shard for a
+// Cluster, the vault itself otherwise.
+func (a *Adapter) vaultFor(id string) (*Vault, error) {
+	switch t := a.v.(type) {
+	case *Vault:
+		return t, nil
+	case *Cluster:
+		return t.shardFor(id), nil
+	}
+	return nil, fmt.Errorf("core: adapter wraps unsupported API implementation %T", a.v)
+}
+
 // RawBytes implements stores.Store: the ciphertext log plus the SSE index's
-// stored form — the at-rest attack surface.
+// stored form — the at-rest attack surface. For a cluster it is the
+// concatenation over shards in shard order.
 func (a *Adapter) RawBytes() []byte {
-	mem, ok := a.v.blocks.(*blockstore.Memory)
-	if !ok {
-		raw, err := a.v.blocks.(*blockstore.File).ReadRaw()
-		if err != nil {
-			return nil
-		}
-		if snap, err := a.v.idx.Snapshot(); err == nil {
-			raw = append(raw, snap...)
-		}
-		return raw
-	}
 	var out []byte
-	for i := 0; i < mem.SegmentCount(); i++ {
-		out = append(out, mem.RawSegment(i)...)
-	}
-	if snap, err := a.v.idx.Snapshot(); err == nil {
-		out = append(out, snap...)
+	for _, v := range a.shardVaults() {
+		mem, ok := v.blocks.(*blockstore.Memory)
+		if !ok {
+			raw, err := v.blocks.(*blockstore.File).ReadRaw()
+			if err != nil {
+				return nil
+			}
+			out = append(out, raw...)
+		} else {
+			for i := 0; i < mem.SegmentCount(); i++ {
+				out = append(out, mem.RawSegment(i)...)
+			}
+		}
+		if snap, err := v.idx.Snapshot(); err == nil {
+			out = append(out, snap...)
+		}
 	}
 	return out
 }
 
 // TamperRecord implements stores.Tamperable on memory-backed vaults: a
 // format-aware insider rewrites the latest version's ciphertext in place
-// with a valid CRC.
+// with a valid CRC. On a cluster the write lands on the record's own shard.
 func (a *Adapter) TamperRecord(id string, mutate func([]byte) []byte) error {
-	mem, ok := a.v.blocks.(*blockstore.Memory)
+	v, err := a.vaultFor(id)
+	if err != nil {
+		return err
+	}
+	mem, ok := v.blocks.(*blockstore.Memory)
 	if !ok {
 		return fmt.Errorf("core: TamperRecord requires a memory-backed vault")
 	}
-	mu := a.v.stripes.forRecord(id)
+	mu := v.stripes.forRecord(id)
 	mu.RLock()
-	st, err := a.v.stateFor(id)
+	st, err := v.stateFor(id)
 	var ref blockstore.Ref
 	if err == nil {
 		ref = st.versions[len(st.versions)-1].Ref
@@ -167,10 +201,14 @@ func (a *Adapter) TamperRecord(id string, mutate func([]byte) []byte) error {
 // hide the latest correction (truncating the version list). VerifyAll must
 // catch it via the commitment-log size check.
 func (a *Adapter) RollbackMetadata(id string) error {
-	mu := a.v.stripes.forRecord(id)
+	v, err := a.vaultFor(id)
+	if err != nil {
+		return err
+	}
+	mu := v.stripes.forRecord(id)
 	mu.Lock()
 	defer mu.Unlock()
-	st, ok := a.v.lookup(id)
+	st, ok := v.lookup(id)
 	if !ok || len(st.versions) < 2 {
 		return fmt.Errorf("%w: %s has no correction to hide", stores.ErrNotFound, id)
 	}
@@ -178,8 +216,15 @@ func (a *Adapter) RollbackMetadata(id string) error {
 	return nil
 }
 
-// Vault returns the wrapped vault for probes needing the full API.
-func (a *Adapter) Vault() *Vault { return a.v }
+// Vault returns the wrapped vault for probes needing the full API. It is nil
+// when the adapter wraps a multi-shard cluster — such probes are inherently
+// single-vault.
+func (a *Adapter) Vault() *Vault {
+	if vs := a.shardVaults(); len(vs) == 1 {
+		return vs[0]
+	}
+	return nil
+}
 
 // mapErr translates core sentinels to the stores package's vocabulary where
 // a direct counterpart exists, so the harness can switch on one error set.

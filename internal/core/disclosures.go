@@ -8,7 +8,6 @@ import (
 
 	"medvault/internal/audit"
 	"medvault/internal/authz"
-	"medvault/internal/obs"
 )
 
 // Disclosure is one access to a patient's EPHI, as reconstructed from the
@@ -37,7 +36,7 @@ func (v *Vault) AccountingOfDisclosures(actor, mrn string) ([]Disclosure, error)
 // AccountingOfDisclosuresCtx is AccountingOfDisclosures under a
 // caller-supplied context.
 func (v *Vault) AccountingOfDisclosuresCtx(ctx context.Context, actor, mrn string) (_ []Disclosure, retErr error) {
-	ctx, sp := obs.StartSpan(ctx, "core.disclosures")
+	ctx, sp := v.span(ctx, "core.disclosures")
 	defer func() { sp.End(retErr) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
@@ -49,6 +48,33 @@ func (v *Vault) AccountingOfDisclosuresCtx(ctx context.Context, actor, mrn strin
 	if mrn == "" {
 		return nil, fmt.Errorf("core: empty MRN")
 	}
+	out, found := v.disclosuresScan(mrn)
+	if !found {
+		return nil, fmt.Errorf("%w: no records for MRN %s", ErrNotFound, mrn)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
+	return out, nil
+}
+
+// disclosureQueryAudit authorizes (and thereby audits) a disclosure
+// accounting query on this vault without running the scan. The cluster path
+// uses it so every shard's audit chain records the query decision before
+// any per-shard scanning begins.
+func (v *Vault) disclosureQueryAudit(ctx context.Context, actor string) error {
+	if err := v.gate.begin(); err != nil {
+		return err
+	}
+	defer v.gate.end()
+	return v.authorize(ctx, actor, authz.ActAudit, audit.ActionVerify, "", 0, "")
+}
+
+// disclosuresScan reconstructs this vault's disclosures for the MRN from
+// its audit chain, unsorted. It reports found=false when the vault holds no
+// record (live or shredded) with that MRN, in which case the event scan is
+// skipped entirely. The caller must hold the op gate and applies the final
+// chronological sort — on a cluster, after concatenating per-shard results
+// in shard order.
+func (v *Vault) disclosuresScan(mrn string) (out []Disclosure, found bool) {
 	// Collect the patient's record IDs (shredded ones included: the access
 	// history of a destroyed record is still disclosable). The MRN is
 	// immutable after creation, so the registry lock alone suffices.
@@ -61,13 +87,16 @@ func (v *Vault) AccountingOfDisclosuresCtx(ctx context.Context, actor, mrn strin
 	}
 	v.regMu.RUnlock()
 	if len(recordSet) == 0 {
-		return nil, fmt.Errorf("%w: no records for MRN %s", ErrNotFound, mrn)
+		return nil, false
 	}
 
 	// Mark events that happened under break-glass: the grant's elevated
 	// accesses carry a paired break-glass audit event at the same (actor,
 	// record, seq+1) — we detect them via the explicit ActionBreakGlass
-	// entries referencing the record.
+	// entries referencing the record. Seq numbers are local to this vault's
+	// chain, so the pairing is shard-local by construction: an operation and
+	// its break-glass marker both name the record and therefore live on the
+	// same shard.
 	events := v.aud.Search(audit.Query{})
 	breakGlassSeqs := make(map[uint64]bool)
 	for _, e := range events {
@@ -77,7 +106,6 @@ func (v *Vault) AccountingOfDisclosuresCtx(ctx context.Context, actor, mrn strin
 			breakGlassSeqs[e.Seq-1] = true
 		}
 	}
-	var out []Disclosure
 	for _, e := range events {
 		if !recordSet[e.Record] {
 			continue
@@ -97,8 +125,7 @@ func (v *Vault) AccountingOfDisclosuresCtx(ctx context.Context, actor, mrn strin
 			})
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Timestamp.Before(out[j].Timestamp) })
-	return out, nil
+	return out, true
 }
 
 // PatientRecords returns the record IDs carrying the patient's MRN that the
@@ -114,7 +141,7 @@ func (v *Vault) PatientRecords(actor, mrn string) ([]string, error) {
 // exists so patient-access requests are visible in traces like every other
 // operation.
 func (v *Vault) PatientRecordsCtx(ctx context.Context, actor, mrn string) (_ []string, retErr error) {
-	_, sp := obs.StartSpan(ctx, "core.patient_records")
+	_, sp := v.span(ctx, "core.patient_records")
 	defer func() { sp.End(retErr) }()
 	v.regMu.RLock()
 	type cand struct {

@@ -306,7 +306,15 @@ func (v *Vault) writeSnapshotLocked() error {
 		return fmt.Errorf("core: snapshotting index: %w", err)
 	}
 	writeBytes(&buf, idxSnap)
-	holds := v.ret.Holds()
+	// The retention manager may be shared across a cluster's shards; each
+	// shard snapshots only the holds on records it owns, so no shard restores
+	// (or double-restores) a sibling's holds.
+	holds := v.ret.Holds()[:0:0]
+	for _, h := range v.ret.Holds() {
+		if _, ok := v.records[h.Record]; ok {
+			holds = append(holds, h)
+		}
+	}
 	writeU32(&buf, uint32(len(holds)))
 	for _, h := range holds {
 		writeStr(&buf, h.Record)

@@ -24,23 +24,40 @@ var (
 
 // observeOp is deferred at the top of each vault operation:
 //
-//	defer observeOp("put", time.Now())(&err)
+//	defer v.observeOp("put", time.Now())(&err)
 //
 // The outer call captures the start time and raises the in-flight gauge; the
 // returned func reads the named error at return time and records one latency
-// observation and one outcome-labeled count.
-func observeOp(op string, start time.Time) func(*error) {
+// observation and one outcome-labeled count. Shards of a multi-shard Cluster
+// add a shard label so /metrics breaks the top line down per shard; a
+// standalone vault (and a one-shard cluster) keeps the exact label set it
+// always had.
+func (v *Vault) observeOp(op string, start time.Time) func(*error) {
 	metInflightOps.Add(1)
 	return func(errp *error) {
 		metInflightOps.Add(-1)
 		outcome := outcomeLabel(*errp)
+		labels := []obs.Label{obs.L("op", op), obs.L("outcome", outcome)}
+		if v.shard != "" {
+			labels = append(labels, obs.L("shard", v.shard))
+		}
 		obs.Default.Counter("medvault_core_ops_total",
-			"Vault operations by outcome.",
-			obs.L("op", op), obs.L("outcome", outcome)).Inc()
+			"Vault operations by outcome.", labels...).Inc()
 		obs.Default.Histogram("medvault_core_op_seconds",
 			"Vault operation latency.", obs.LatencyBuckets,
-			obs.L("op", op), obs.L("outcome", outcome)).ObserveSince(start)
+			labels...).ObserveSince(start)
 	}
+}
+
+// span starts an operation span, stamping the shard attribute when this
+// vault is a shard of a multi-shard cluster. All core operation spans go
+// through here so /debug/traces shows which shard served each step.
+func (v *Vault) span(ctx context.Context, name string) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, name)
+	if v.shard != "" {
+		sp.SetAttr("shard", v.shard)
+	}
+	return ctx, sp
 }
 
 // outcomeLabel buckets an operation error into a low-cardinality label.

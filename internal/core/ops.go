@@ -11,7 +11,6 @@ import (
 	"medvault/internal/authz"
 	"medvault/internal/blockstore"
 	"medvault/internal/ehr"
-	"medvault/internal/obs"
 	"medvault/internal/provenance"
 	"medvault/internal/vcrypto"
 )
@@ -174,8 +173,8 @@ func (v *Vault) Put(actor string, rec ehr.Record) (Version, error) {
 // blockstore, WAL, Merkle, index, audit — records its span under a
 // "core.put" parent.
 func (v *Vault) PutCtx(ctx context.Context, actor string, rec ehr.Record) (_ Version, err error) {
-	defer observeOp("put", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.put")
+	defer v.observeOp("put", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.put")
 	defer func() { sp.End(err) }()
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
@@ -247,7 +246,7 @@ func (v *Vault) PutCtx(ctx context.Context, actor string, rec ehr.Record) (_ Ver
 // ver.CtHash, and a hit is only served when the fill-time hash equals the
 // CtHash this version demands — the same 32-byte comparison either way.
 func (v *Vault) readVersion(ctx context.Context, id string, ver Version) (_ ehr.Record, err error) {
-	ctx, sp := obs.StartSpan(ctx, "core.read_version")
+	ctx, sp := v.span(ctx, "core.read_version")
 	defer func() { sp.End(err) }()
 	ct, cached := v.bcache.get(ver.Ref, ver.CtHash)
 	if cached {
@@ -286,8 +285,8 @@ func (v *Vault) Get(actor, id string) (ehr.Record, Version, error) {
 
 // GetCtx is Get under a caller-supplied context (see PutCtx).
 func (v *Vault) GetCtx(ctx context.Context, actor, id string) (_ ehr.Record, _ Version, err error) {
-	defer observeOp("get", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.get")
+	defer v.observeOp("get", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.get")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return ehr.Record{}, Version{}, err
@@ -316,8 +315,8 @@ func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version
 
 // GetVersionCtx is GetVersion under a caller-supplied context.
 func (v *Vault) GetVersionCtx(ctx context.Context, actor, id string, number uint64) (_ ehr.Record, _ Version, err error) {
-	defer observeOp("get_version", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.get_version")
+	defer v.observeOp("get_version", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.get_version")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return ehr.Record{}, Version{}, err
@@ -350,8 +349,8 @@ func (v *Vault) History(actor, id string) ([]Version, error) {
 
 // HistoryCtx is History under a caller-supplied context.
 func (v *Vault) HistoryCtx(ctx context.Context, actor, id string) (_ []Version, err error) {
-	defer observeOp("history", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.history")
+	defer v.observeOp("history", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.history")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
@@ -381,8 +380,8 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
 
 // CorrectCtx is Correct under a caller-supplied context.
 func (v *Vault) CorrectCtx(ctx context.Context, actor string, rec ehr.Record) (_ Version, err error) {
-	defer observeOp("correct", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.correct")
+	defer v.observeOp("correct", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.correct")
 	defer func() { sp.End(err) }()
 	if err := rec.Validate(); err != nil {
 		return Version{}, err
@@ -488,8 +487,8 @@ func (v *Vault) Search(actor, keyword string) ([]string, error) {
 
 // SearchCtx is Search under a caller-supplied context.
 func (v *Vault) SearchCtx(ctx context.Context, actor, keyword string) (_ []string, err error) {
-	defer observeOp("search", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.search")
+	defer v.observeOp("search", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.search")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
@@ -510,8 +509,8 @@ func (v *Vault) SearchAll(actor string, keywords ...string) ([]string, error) {
 
 // SearchAllCtx is SearchAll under a caller-supplied context.
 func (v *Vault) SearchAllCtx(ctx context.Context, actor string, keywords ...string) (_ []string, err error) {
-	defer observeOp("search", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.search")
+	defer v.observeOp("search", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.search")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
@@ -535,8 +534,8 @@ func (v *Vault) Shred(actor, id string) error {
 
 // ShredCtx is Shred under a caller-supplied context.
 func (v *Vault) ShredCtx(ctx context.Context, actor, id string) (err error) {
-	defer observeOp("shred", time.Now())(&err)
-	ctx, sp := obs.StartSpan(ctx, "core.shred")
+	defer v.observeOp("shred", time.Now())(&err)
+	ctx, sp := v.span(ctx, "core.shred")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return err
@@ -601,7 +600,7 @@ func (v *Vault) PlaceHold(actor, id, reason string) error {
 
 // PlaceHoldCtx is PlaceHold under a caller-supplied context.
 func (v *Vault) PlaceHoldCtx(ctx context.Context, actor, id, reason string) (err error) {
-	ctx, sp := obs.StartSpan(ctx, "core.place_hold")
+	ctx, sp := v.span(ctx, "core.place_hold")
 	defer func() { sp.End(err) }()
 	if reason == "" {
 		return fmt.Errorf("core: a legal hold requires a reason")
@@ -642,7 +641,7 @@ func (v *Vault) ReleaseHold(actor, id string) error {
 
 // ReleaseHoldCtx is ReleaseHold under a caller-supplied context.
 func (v *Vault) ReleaseHoldCtx(ctx context.Context, actor, id string) (err error) {
-	ctx, sp := obs.StartSpan(ctx, "core.release_hold")
+	ctx, sp := v.span(ctx, "core.release_hold")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return err
@@ -675,7 +674,7 @@ func (v *Vault) BreakGlass(actor, reason string, duration time.Duration) error {
 
 // BreakGlassCtx is BreakGlass under a caller-supplied context.
 func (v *Vault) BreakGlassCtx(ctx context.Context, actor, reason string, duration time.Duration) (err error) {
-	ctx, sp := obs.StartSpan(ctx, "core.break_glass")
+	ctx, sp := v.span(ctx, "core.break_glass")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return err
@@ -702,7 +701,7 @@ func (v *Vault) AuditEvents(actor string, q audit.Query) ([]audit.Event, error) 
 
 // AuditEventsCtx is AuditEvents under a caller-supplied context.
 func (v *Vault) AuditEventsCtx(ctx context.Context, actor string, q audit.Query) (_ []audit.Event, err error) {
-	ctx, sp := obs.StartSpan(ctx, "core.audit_events")
+	ctx, sp := v.span(ctx, "core.audit_events")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err
@@ -721,7 +720,7 @@ func (v *Vault) Provenance(actor, id string) ([]provenance.Event, error) {
 
 // ProvenanceCtx is Provenance under a caller-supplied context.
 func (v *Vault) ProvenanceCtx(ctx context.Context, actor, id string) (_ []provenance.Event, err error) {
-	ctx, sp := obs.StartSpan(ctx, "core.provenance")
+	ctx, sp := v.span(ctx, "core.provenance")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
 		return nil, err

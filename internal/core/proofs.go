@@ -7,7 +7,6 @@ import (
 	"medvault/internal/audit"
 	"medvault/internal/authz"
 	"medvault/internal/merkle"
-	"medvault/internal/obs"
 	"medvault/internal/vcrypto"
 )
 
@@ -40,7 +39,7 @@ func (v *Vault) ProveVersion(actor, id string, number uint64) (VersionProof, err
 // ProveVersionCtx is ProveVersion under a caller-supplied context, recording
 // a "core.prove_version" span with the Merkle proof as a child span.
 func (v *Vault) ProveVersionCtx(ctx context.Context, actor, id string, number uint64) (_ VersionProof, retErr error) {
-	ctx, sp := obs.StartSpan(ctx, "core.prove_version")
+	ctx, sp := v.span(ctx, "core.prove_version")
 	defer func() { sp.End(retErr) }()
 	if err := v.gate.begin(); err != nil {
 		return VersionProof{}, err

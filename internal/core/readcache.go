@@ -16,27 +16,33 @@ const (
 	DefaultNegCacheEntries = 4096
 )
 
-// Read-cache instrumentation, one label value per layer (the DEK layer's
-// counters live in vcrypto under cache="dek").
-var (
-	metBlockCacheHits = obs.Default.Counter("medvault_cache_hits_total",
-		"Read-cache hits by cache layer.", obs.L("cache", "block"))
-	metBlockCacheMisses = obs.Default.Counter("medvault_cache_misses_total",
-		"Read-cache misses by cache layer.", obs.L("cache", "block"))
-	metBlockCacheEvictions = obs.Default.Counter("medvault_cache_evictions_total",
-		"Read-cache evictions by cache layer.", obs.L("cache", "block"))
-	metBlockCacheEntries = obs.Default.Gauge("medvault_cache_entries",
-		"Current read-cache entries by cache layer.", obs.L("cache", "block"))
+// cacheMetrics is one cache layer's instrumentation. Each cache instance
+// owns its set so a cluster shard's caches report under a shard label while
+// a standalone vault keeps the original single-label series (the DEK
+// layer's counters live in vcrypto under cache="dek"). The series are
+// registered even for a disabled cache, so /metrics and the bench JSON
+// always expose every layer.
+type cacheMetrics struct {
+	hits, misses, evictions *obs.Counter
+	entries                 *obs.Gauge
+}
 
-	metNegCacheHits = obs.Default.Counter("medvault_cache_hits_total",
-		"Read-cache hits by cache layer.", obs.L("cache", "negative"))
-	metNegCacheMisses = obs.Default.Counter("medvault_cache_misses_total",
-		"Read-cache misses by cache layer.", obs.L("cache", "negative"))
-	metNegCacheEvictions = obs.Default.Counter("medvault_cache_evictions_total",
-		"Read-cache evictions by cache layer.", obs.L("cache", "negative"))
-	metNegCacheEntries = obs.Default.Gauge("medvault_cache_entries",
-		"Current read-cache entries by cache layer.", obs.L("cache", "negative"))
-)
+func newCacheMetrics(layer, shard string) cacheMetrics {
+	labels := []obs.Label{obs.L("cache", layer)}
+	if shard != "" {
+		labels = append(labels, obs.L("shard", shard))
+	}
+	return cacheMetrics{
+		hits: obs.Default.Counter("medvault_cache_hits_total",
+			"Read-cache hits by cache layer.", labels...),
+		misses: obs.Default.Counter("medvault_cache_misses_total",
+			"Read-cache misses by cache layer.", labels...),
+		evictions: obs.Default.Counter("medvault_cache_evictions_total",
+			"Read-cache evictions by cache layer.", labels...),
+		entries: obs.Default.Gauge("medvault_cache_entries",
+			"Current read-cache entries by cache layer.", labels...),
+	}
+}
 
 // blockCache is a bytes-bounded LRU of ciphertext blocks keyed by their
 // blockstore location. Every entry records the SHA-256 its bytes had when
@@ -55,6 +61,7 @@ type blockCache struct {
 	bytes int64
 	ll    *list.List
 	ent   map[blockstore.Ref]*list.Element
+	met   cacheMetrics
 }
 
 type blockEntry struct {
@@ -63,14 +70,16 @@ type blockEntry struct {
 	data []byte
 }
 
-func newBlockCache(capBytes int64) *blockCache {
+func newBlockCache(capBytes int64, shard string) *blockCache {
+	met := newCacheMetrics("block", shard)
 	if capBytes <= 0 {
-		return &blockCache{}
+		return &blockCache{met: met}
 	}
 	return &blockCache{
 		cap: capBytes,
 		ll:  list.New(),
 		ent: make(map[blockstore.Ref]*list.Element),
+		met: met,
 	}
 }
 
@@ -87,7 +96,7 @@ func (c *blockCache) get(ref blockstore.Ref, wantHash [32]byte) ([]byte, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.ent[ref]
 	if !ok {
-		metBlockCacheMisses.Inc()
+		c.met.misses.Inc()
 		return nil, false
 	}
 	e := el.Value.(*blockEntry)
@@ -95,11 +104,11 @@ func (c *blockCache) get(ref blockstore.Ref, wantHash [32]byte) ([]byte, bool) {
 		// Same location, different expected content (e.g. the segment was
 		// rewritten): this entry can never satisfy the caller. Drop it.
 		c.removeLocked(el)
-		metBlockCacheMisses.Inc()
+		c.met.misses.Inc()
 		return nil, false
 	}
 	c.ll.MoveToFront(el)
-	metBlockCacheHits.Inc()
+	c.met.hits.Inc()
 	return e.data, true
 }
 
@@ -116,10 +125,10 @@ func (c *blockCache) put(ref blockstore.Ref, hash [32]byte, data []byte) {
 	}
 	c.ent[ref] = c.ll.PushFront(&blockEntry{ref: ref, hash: hash, data: data})
 	c.bytes += int64(len(data))
-	metBlockCacheEntries.Add(1)
+	c.met.entries.Add(1)
 	for c.bytes > c.cap {
 		c.removeLocked(c.ll.Back())
-		metBlockCacheEvictions.Inc()
+		c.met.evictions.Inc()
 	}
 }
 
@@ -149,7 +158,7 @@ func (c *blockCache) purge() {
 	c.ll.Init()
 	c.ent = make(map[blockstore.Ref]*list.Element)
 	c.bytes = 0
-	metBlockCacheEntries.Add(-float64(n))
+	c.met.entries.Add(-float64(n))
 }
 
 func (c *blockCache) removeLocked(el *list.Element) {
@@ -157,7 +166,7 @@ func (c *blockCache) removeLocked(el *list.Element) {
 	delete(c.ent, e.ref)
 	c.ll.Remove(el)
 	c.bytes -= int64(len(e.data))
-	metBlockCacheEntries.Add(-1)
+	c.met.entries.Add(-1)
 }
 
 // negCache is a bounded LRU set of record IDs known NOT to exist. Unknown-id
@@ -173,16 +182,19 @@ type negCache struct {
 	cap int
 	ll  *list.List
 	ent map[string]*list.Element
+	met cacheMetrics
 }
 
-func newNegCache(capacity int) *negCache {
+func newNegCache(capacity int, shard string) *negCache {
+	met := newCacheMetrics("negative", shard)
 	if capacity <= 0 {
-		return &negCache{}
+		return &negCache{met: met}
 	}
 	return &negCache{
 		cap: capacity,
 		ll:  list.New(),
 		ent: make(map[string]*list.Element, capacity),
+		met: met,
 	}
 }
 
@@ -197,11 +209,11 @@ func (c *negCache) has(id string) bool {
 	defer c.mu.Unlock()
 	el, ok := c.ent[id]
 	if !ok {
-		metNegCacheMisses.Inc()
+		c.met.misses.Inc()
 		return false
 	}
 	c.ll.MoveToFront(el)
-	metNegCacheHits.Inc()
+	c.met.hits.Inc()
 	return true
 }
 
@@ -216,10 +228,10 @@ func (c *negCache) add(id string) {
 		return
 	}
 	c.ent[id] = c.ll.PushFront(id)
-	metNegCacheEntries.Add(1)
+	c.met.entries.Add(1)
 	for c.ll.Len() > c.cap {
 		c.removeLocked(c.ll.Back())
-		metNegCacheEvictions.Inc()
+		c.met.evictions.Inc()
 	}
 }
 
@@ -245,13 +257,13 @@ func (c *negCache) purge() {
 	n := c.ll.Len()
 	c.ll.Init()
 	c.ent = make(map[string]*list.Element, c.cap)
-	metNegCacheEntries.Add(-float64(n))
+	c.met.entries.Add(-float64(n))
 }
 
 func (c *negCache) removeLocked(el *list.Element) {
 	delete(c.ent, el.Value.(string))
 	c.ll.Remove(el)
-	metNegCacheEntries.Add(-1)
+	c.met.entries.Add(-1)
 }
 
 // cacheCap translates a Config cache-size knob into an effective capacity:

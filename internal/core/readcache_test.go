@@ -36,7 +36,7 @@ func clinicalRecords(t *testing.T, seed int64, n int) []ehr.Record {
 // version metadata demands. An entry that can't match degrades to a miss and
 // is dropped, never served.
 func TestBlockCacheHashGate(t *testing.T) {
-	c := newBlockCache(1 << 20)
+	c := newBlockCache(1<<20, "")
 	ref := blockstore.Ref{Segment: 1, Offset: 64}
 	data := []byte("ciphertext-bytes")
 	h := sha256.Sum256(data)
@@ -59,7 +59,7 @@ func TestBlockCacheHashGate(t *testing.T) {
 // via LRU eviction, and a single block larger than the whole cache is skipped
 // rather than flushing everything else.
 func TestBlockCacheBounds(t *testing.T) {
-	c := newBlockCache(100)
+	c := newBlockCache(100, "")
 	block := func(i int, n int) (blockstore.Ref, [32]byte, []byte) {
 		data := make([]byte, n)
 		for j := range data {

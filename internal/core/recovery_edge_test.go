@@ -10,9 +10,9 @@ import (
 
 // putTwo opens a vault over fsys, stores two records, and returns their
 // bodies. The vault is left open; callers crash it however they like.
-func putTwo(t *testing.T, fsys faultfs.FS) (*Vault, [2]string) {
+func putTwo(t *testing.T, fsys faultfs.FS) (*Cluster, [2]string) {
 	t.Helper()
-	v, vc, err := openTorture(fsys)
+	v, vc, err := openTorture(fsys, 1)
 	if err != nil {
 		t.Fatalf("open: %v", err)
 	}
@@ -31,7 +31,7 @@ func putTwo(t *testing.T, fsys faultfs.FS) (*Vault, [2]string) {
 // read back exactly and full verification passes.
 func reopenAndCheck(t *testing.T, img *faultfs.Mem, bodies [2]string) {
 	t.Helper()
-	v, _, err := openTorture(img)
+	v, _, err := openTorture(img, 1)
 	if err != nil {
 		t.Fatalf("recovery: %v", err)
 	}
@@ -111,14 +111,14 @@ func TestDoubleRecoveryAfterSnapshotWithoutCheckpoint(t *testing.T) {
 // vault rather than failing.
 func TestRecoveryEmptyWAL(t *testing.T) {
 	mem := faultfs.NewMem()
-	v, _, err := openTorture(mem)
+	v, _, err := openTorture(mem, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := v.Close(); err != nil {
 		t.Fatal(err)
 	}
-	v2, _, err := openTorture(mem)
+	v2, _, err := openTorture(mem, 1)
 	if err != nil {
 		t.Fatalf("reopen of empty vault: %v", err)
 	}

@@ -59,6 +59,11 @@ type TortureOpts struct {
 	// Quick subsamples the crash-point matrix (roughly one point in five)
 	// for CI smoke runs. Injection-point enumeration is always complete.
 	Quick bool
+	// Shards is the cluster shard count the workload runs against; <= 1
+	// tortures the classic single vault. Larger counts spread the scripted
+	// records over per-shard WALs, blockstores, and audit chains, so every
+	// crash point exercises multi-shard recovery.
+	Shards int
 	// Stride overrides the subsampling stride; 0 means 1 (every point), or
 	// 5 when Quick is set.
 	Stride int
@@ -139,7 +144,7 @@ func tortureRecord(id string, version int, at time.Time) ehr.Record {
 // openTorture opens (or reopens) the torture vault over fsys and registers
 // the standard staff — authorization state is in-memory by design, so every
 // mount re-registers it.
-func openTorture(fsys faultfs.FS) (*Vault, *clock.Virtual, error) {
+func openTorture(fsys faultfs.FS, shards int) (*Cluster, *clock.Virtual, error) {
 	var seed [32]byte
 	copy(seed[:], "medvault-torture-master-seed-32b")
 	master, err := vcrypto.KeyFromBytes(seed[:])
@@ -147,7 +152,7 @@ func openTorture(fsys faultfs.FS) (*Vault, *clock.Virtual, error) {
 		return nil, nil, err
 	}
 	vc := clock.NewVirtual(tortureEpoch)
-	v, err := Open(Config{Name: "torture", Master: master, Clock: vc, Dir: "vault", FS: fsys})
+	v, err := OpenCluster(Config{Name: "torture", Master: master, Clock: vc, Dir: "vault", FS: fsys}, shards)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -170,7 +175,7 @@ func openTorture(fsys faultfs.FS) (*Vault, *clock.Virtual, error) {
 // in o the moment the vault returns success. It aborts at the first error
 // (the injected fault) and returns it; everything recorded before that
 // moment was acked and is owed durability.
-func runWorkload(v *Vault, vc *clock.Virtual, o *oracle) error {
+func runWorkload(v *Cluster, vc *clock.Virtual, o *oracle) error {
 	put := func(id string) error {
 		rec := tortureRecord(id, 1, vc.Now())
 		if _, err := v.Put("dr-house", rec); err != nil {
@@ -241,7 +246,7 @@ func runWorkload(v *Vault, vc *clock.Virtual, o *oracle) error {
 // check audits a recovered vault against the oracle: every acked version
 // readable with its exact body, acked shreds shredded, acked holds held,
 // and full integrity verification clean.
-func (o *oracle) check(v *Vault) error {
+func (o *oracle) check(v *Cluster) error {
 	for id, bodies := range o.bodies {
 		if o.shredded[id] {
 			continue
@@ -307,9 +312,9 @@ func scanForPlaintext(img *faultfs.Mem) error {
 // recoverAndCheck mounts the crash image, recovers, audits against the
 // oracle, then closes and recovers a second time to prove recovery is
 // idempotent. Finally it scans the medium for plaintext.
-func recoverAndCheck(img *faultfs.Mem, o *oracle) error {
+func recoverAndCheck(img *faultfs.Mem, o *oracle, shards int) error {
 	for pass := 1; pass <= 2; pass++ {
-		v, _, err := openTorture(img)
+		v, _, err := openTorture(img, shards)
 		if err != nil {
 			return fmt.Errorf("recovery pass %d failed: %w", pass, err)
 		}
@@ -327,7 +332,7 @@ func recoverAndCheck(img *faultfs.Mem, o *oracle) error {
 // enumerate runs the workload once, fault-free, over a recording injector
 // and returns the full op trace. It also sanity-checks the harness itself:
 // the clean image must recover and pass the oracle.
-func enumerate() ([]faultfs.Op, error) {
+func enumerate(shards int) ([]faultfs.Op, error) {
 	var trace []faultfs.Op
 	recorder := func(op faultfs.Op) *faultfs.Fault {
 		if op.Index >= 0 {
@@ -337,7 +342,7 @@ func enumerate() ([]faultfs.Op, error) {
 	}
 	mem := faultfs.NewMem()
 	fsys := faultfs.NewFaulty(mem, recorder)
-	v, vc, err := openTorture(fsys)
+	v, vc, err := openTorture(fsys, shards)
 	if err != nil {
 		return nil, fmt.Errorf("torture: clean open failed: %w", err)
 	}
@@ -345,7 +350,7 @@ func enumerate() ([]faultfs.Op, error) {
 	if err := runWorkload(v, vc, o); err != nil {
 		return nil, fmt.Errorf("torture: clean workload failed: %w", err)
 	}
-	if err := recoverAndCheck(mem.CrashImage(faultfs.KeepAll), o); err != nil {
+	if err := recoverAndCheck(mem.CrashImage(faultfs.KeepAll), o, shards); err != nil {
 		return nil, fmt.Errorf("torture: clean run fails its own oracle: %w", err)
 	}
 	return trace, nil
@@ -355,7 +360,7 @@ func enumerate() ([]faultfs.Op, error) {
 // image under keep, and audits recovery. A workload error is expected (the
 // injected fault surfacing); what matters is that everything acked before
 // it survives. Panics anywhere in the scenario are converted to failures.
-func runScenario(name string, point int, inject faultfs.Injector, keep faultfs.KeepPolicy) (fail *TortureFailure) {
+func runScenario(name string, point int, inject faultfs.Injector, keep faultfs.KeepPolicy, shards int) (fail *TortureFailure) {
 	defer func() {
 		if r := recover(); r != nil {
 			fail = &TortureFailure{Scenario: name, Point: point, Detail: fmt.Sprintf("panic: %v", r)}
@@ -364,14 +369,14 @@ func runScenario(name string, point int, inject faultfs.Injector, keep faultfs.K
 	mem := faultfs.NewMem()
 	fsys := faultfs.NewFaulty(mem, inject)
 	o := newOracle()
-	v, vc, err := openTorture(fsys)
+	v, vc, err := openTorture(fsys, shards)
 	if err == nil {
 		// The workload aborts at the injected fault; acks recorded up to
 		// that point are the durability obligation. The faulted vault is
 		// abandoned un-Closed, exactly as a power cut would leave it.
 		_ = runWorkload(v, vc, o)
 	}
-	if err := recoverAndCheck(mem.CrashImage(keep), o); err != nil {
+	if err := recoverAndCheck(mem.CrashImage(keep), o, shards); err != nil {
 		return &TortureFailure{Scenario: name, Point: point, Detail: err.Error()}
 	}
 	return nil
@@ -430,12 +435,12 @@ func (a *armedRot) arm(skip int) { a.armed, a.skip, a.seen = true, skip, 0 }
 // flipped by one bit. The vault must return an error or the exact correct
 // body — silently wrong data is the one unforgivable outcome. Returns the
 // number of scenarios run and any failures.
-func runBitRot() (int, []TortureFailure) {
+func runBitRot(shards int) (int, []TortureFailure) {
 	var fails []TortureFailure
 	mem := faultfs.NewMem()
 	o := newOracle()
 	{
-		v, vc, err := openTorture(mem)
+		v, vc, err := openTorture(mem, shards)
 		if err != nil {
 			return 0, []TortureFailure{{Scenario: "bit-rot/setup", Point: -1, Detail: err.Error()}}
 		}
@@ -445,7 +450,7 @@ func runBitRot() (int, []TortureFailure) {
 	}
 	rot := &armedRot{}
 	fsys := faultfs.NewFaulty(mem, rot.inject)
-	v, _, err := openTorture(fsys)
+	v, _, err := openTorture(fsys, shards)
 	if err != nil {
 		return 0, []TortureFailure{{Scenario: "bit-rot/reopen", Point: -1, Detail: err.Error()}}
 	}
@@ -495,9 +500,13 @@ func RunTorture(opts TortureOpts) (TortureReport, error) {
 			stride = 5
 		}
 	}
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
 
 	var rep TortureReport
-	trace, err := enumerate()
+	trace, err := enumerate(shards)
 	if err != nil {
 		return rep, err
 	}
@@ -517,7 +526,7 @@ func RunTorture(opts TortureOpts) (TortureReport, error) {
 		}
 		for _, sc := range crashMatrix(op) {
 			rep.CrashScenarios++
-			if f := runScenario(sc.name, op.Index, sc.inject, sc.keep); f != nil {
+			if f := runScenario(sc.name, op.Index, sc.inject, sc.keep, shards); f != nil {
 				rep.Failures = append(rep.Failures, *f)
 				logf("FAIL %s", f)
 			}
@@ -530,7 +539,7 @@ func RunTorture(opts TortureOpts) (TortureReport, error) {
 	// lost, and nothing may be acked after the lie.
 	for n := 0; n < syncs; n += stride {
 		rep.FaultScenarios++
-		if f := runScenario("eio-sync/keep-all", n, faultfs.FailNthSync(n, faultfs.ErrInjected), faultfs.KeepAll); f != nil {
+		if f := runScenario("eio-sync/keep-all", n, faultfs.FailNthSync(n, faultfs.ErrInjected), faultfs.KeepAll, shards); f != nil {
 			rep.Failures = append(rep.Failures, *f)
 			logf("FAIL %s", f)
 		}
@@ -543,7 +552,7 @@ func RunTorture(opts TortureOpts) (TortureReport, error) {
 		}
 		if seen%stride == 0 {
 			rep.FaultScenarios++
-			if f := runScenario("enospc/keep-all", op.Index, faultfs.FailAt(op.Index, faultfs.ErrNoSpace), faultfs.KeepAll); f != nil {
+			if f := runScenario("enospc/keep-all", op.Index, faultfs.FailAt(op.Index, faultfs.ErrNoSpace), faultfs.KeepAll, shards); f != nil {
 				rep.Failures = append(rep.Failures, *f)
 				logf("FAIL %s", f)
 			}
@@ -552,7 +561,7 @@ func RunTorture(opts TortureOpts) (TortureReport, error) {
 	}
 	logf("fault matrix done: %d scenarios (%d syncs, %d writes in trace)", rep.FaultScenarios, syncs, writes)
 
-	n, fails := runBitRot()
+	n, fails := runBitRot(shards)
 	rep.FaultScenarios += n
 	rep.Failures = append(rep.Failures, fails...)
 	logf("bit-rot done: %d scenarios", n)

@@ -126,6 +126,14 @@ type Config struct {
 	// NegCacheEntries bounds the negative-lookup (known-missing ID) cache
 	// (default DefaultNegCacheEntries).
 	NegCacheEntries int
+
+	// Cluster plumbing, set only by OpenCluster (same package): shards share
+	// one authorizer and one retention manager so policy state never
+	// diverges, and a non-empty shardTag labels the shard's metrics and
+	// spans. All zero for a standalone vault.
+	sharedAuth *authz.Authorizer
+	sharedRet  *retention.Manager
+	shardTag   string
 }
 
 // Vault is the hybrid compliance store. Locking follows the discipline
@@ -159,6 +167,7 @@ type Vault struct {
 	fs       faultfs.FS
 	masterFP string       // master key fingerprint, for manifests
 	recovery RecoveryInfo // what the last Open rebuilt (durable vaults)
+	shard    string       // shard index label when part of a >1-shard Cluster
 
 	// auditStore and provStore are retained so Close can release their
 	// file handles (the audit and provenance logs do not own closing them).
@@ -182,27 +191,37 @@ func Open(cfg Config) (*Vault, error) {
 	}
 
 	dekCap := cacheCap(cfg.DEKCacheEntries, vcrypto.DefaultDEKCacheCap)
+	auth := cfg.sharedAuth
+	if auth == nil {
+		auth = authz.New(now)
+	}
 	v := &Vault{
 		name:        cfg.Name,
 		clk:         clk,
 		signer:      signer,
 		keys:        vcrypto.NewKeyStoreCached(vcrypto.DeriveKey(cfg.Master, "vault/kek"), dekCap),
 		idx:         index.NewSSE(vcrypto.DeriveKey(cfg.Master, "vault/index")),
-		auth:        authz.New(now),
-		bcache:      newBlockCache(cacheCap(cfg.BlockCacheBytes, int64(DefaultBlockCacheBytes))),
-		neg:         newNegCache(cacheCap(cfg.NegCacheEntries, DefaultNegCacheEntries)),
+		auth:        auth,
+		bcache:      newBlockCache(cacheCap(cfg.BlockCacheBytes, int64(DefaultBlockCacheBytes)), cfg.shardTag),
+		neg:         newNegCache(cacheCap(cfg.NegCacheEntries, DefaultNegCacheEntries), cfg.shardTag),
 		dekCacheCap: dekCap,
 		records:     make(map[string]*recordState),
 		dir:         cfg.Dir,
 		fs:          fsys,
 		masterFP:    cfg.Master.Fingerprint(),
+		shard:       cfg.shardTag,
 	}
 
 	pols := cfg.Policies
 	if len(pols) == 0 {
 		pols = retention.StandardPolicies()
 	}
-	v.ret = retention.NewManager(clk)
+	v.ret = cfg.sharedRet
+	if v.ret == nil {
+		v.ret = retention.NewManager(clk)
+	}
+	// SetPolicy is idempotent, so shards of a cluster re-applying the same
+	// set to the shared manager is harmless.
 	for _, p := range pols {
 		v.ret.SetPolicy(p)
 	}
@@ -341,6 +360,11 @@ func (v *Vault) PublicKey() vcrypto.PublicKey { return v.signer.Public() }
 // Head returns the current signed Merkle tree head. Store it off-system;
 // pass it back to VerifyAll to detect history rewriting.
 func (v *Vault) Head() merkle.SignedTreeHead { return v.log.Head() }
+
+// Heads returns the vault's tree heads — always exactly one for a single
+// vault. It exists so callers can program against the API seam shared with
+// Cluster, where each shard contributes its own head.
+func (v *Vault) Heads() []merkle.SignedTreeHead { return []merkle.SignedTreeHead{v.log.Head()} }
 
 // Len returns the number of live (non-shredded) records.
 func (v *Vault) Len() int {

@@ -46,7 +46,7 @@ type Report struct {
 // list mid-verification — so the size/leaf accounting it checks can never
 // be a benign in-flight transient.
 func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedCheckpoints []audit.Checkpoint) (_ Report, err error) {
-	defer observeOp("verify_all", time.Now())(&err)
+	defer v.observeOp("verify_all", time.Now())(&err)
 	var rep Report
 	if err := v.gate.beginExclusive(); err != nil {
 		return rep, err

@@ -67,7 +67,7 @@ const requestIDHeader = "X-Request-ID"
 
 // Server serves a vault over HTTP.
 type Server struct {
-	vault  *core.Vault
+	vault  core.API
 	mux    *http.ServeMux
 	tracer *obs.Tracer
 	logger *slog.Logger // nil disables request logging
@@ -90,7 +90,7 @@ func WithTracer(t *obs.Tracer) Option {
 }
 
 // New builds a Server around v.
-func New(v *core.Vault, opts ...Option) *Server {
+func New(v core.API, opts ...Option) *Server {
 	s := &Server{vault: v, mux: http.NewServeMux(), tracer: obs.DefaultTracer}
 	for _, o := range opts {
 		o(s)
@@ -310,15 +310,34 @@ func fromRecord(rec ehr.Record, ver core.Version) recordPayload {
 // A wedged WAL or a closed vault answers 503 so load balancers stop routing
 // writes to a node that cannot durably commit them.
 type healthPayload struct {
-	Status        string          `json:"status"`
-	System        string          `json:"system"`
-	Records       int             `json:"records"`
-	Durable       bool            `json:"durable"`
-	WALWedged     bool            `json:"wal_wedged"`
-	WALWedgeError string          `json:"wal_wedge_error,omitempty"`
-	WALQueueDepth int             `json:"wal_queue_depth"`
-	InFlightOps   int             `json:"in_flight_ops"`
-	LastRecovery  recoveryPayload `json:"last_recovery"`
+	Status        string               `json:"status"`
+	System        string               `json:"system"`
+	Records       int                  `json:"records"`
+	Durable       bool                 `json:"durable"`
+	WALWedged     bool                 `json:"wal_wedged"`
+	WALWedgeError string               `json:"wal_wedge_error,omitempty"`
+	WALQueueDepth int                  `json:"wal_queue_depth"`
+	InFlightOps   int                  `json:"in_flight_ops"`
+	LastRecovery  recoveryPayload      `json:"last_recovery"`
+	Shards        []shardHealthPayload `json:"shards,omitempty"` // >1-shard clusters only
+}
+
+// shardHealthPayload is one shard's slice of the merged health report, so
+// an operator can see which shard is wedged without shelling into the node.
+type shardHealthPayload struct {
+	Shard         int    `json:"shard"`
+	Open          bool   `json:"open"`
+	Records       int    `json:"records"`
+	WALWedged     bool   `json:"wal_wedged"`
+	WALWedgeError string `json:"wal_wedge_error,omitempty"`
+	WALQueueDepth int    `json:"wal_queue_depth"`
+}
+
+// shardHealther is implemented by *core.Cluster; /healthz uses it to attach
+// per-shard detail when the API behind the server is a multi-shard cluster.
+type shardHealther interface {
+	NumShards() int
+	ShardHealths() []core.HealthStatus
 }
 
 type recoveryPayload struct {
@@ -337,7 +356,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	case h.WALWedged:
 		status, state = http.StatusServiceUnavailable, "wal-wedged"
 	}
-	writeJSON(w, status, healthPayload{
+	payload := healthPayload{
 		Status:        state,
 		System:        s.vault.Name(),
 		Records:       h.LiveRecords,
@@ -352,7 +371,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			WALEntries:     h.LastRecovery.WALEntries,
 			RecordsLive:    h.LastRecovery.RecordsLive,
 		},
-	})
+	}
+	if sh, ok := s.vault.(shardHealther); ok && sh.NumShards() > 1 {
+		for i, hs := range sh.ShardHealths() {
+			payload.Shards = append(payload.Shards, shardHealthPayload{
+				Shard:         i,
+				Open:          hs.Open,
+				Records:       hs.LiveRecords,
+				WALWedged:     hs.WALWedged,
+				WALWedgeError: hs.WALWedgeError,
+				WALQueueDepth: hs.WALQueueDepth,
+			})
+		}
+	}
+	writeJSON(w, status, payload)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -576,16 +608,33 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	head := s.vault.Head()
-	writeJSON(w, http.StatusOK, map[string]any{
+	heads := s.vault.Heads()
+	payload := map[string]any{
 		"status":            "ok",
 		"records_checked":   rep.RecordsChecked,
 		"versions_checked":  rep.VersionsChecked,
 		"audit_events":      rep.AuditEvents,
 		"provenance_chains": rep.ProvenanceChains,
-		"tree_head_size":    head.Size,
-		"tree_head_root":    fmt.Sprintf("%x", head.Root),
-	})
+	}
+	if len(heads) == 1 {
+		payload["tree_head_size"] = heads[0].Size
+		payload["tree_head_root"] = fmt.Sprintf("%x", heads[0].Root)
+	} else {
+		// Multi-shard: one tree head per shard, plus the summed size.
+		var total uint64
+		shardHeads := make([]map[string]any, len(heads))
+		for i, h := range heads {
+			total += h.Size
+			shardHeads[i] = map[string]any{
+				"shard":          i,
+				"tree_head_size": h.Size,
+				"tree_head_root": fmt.Sprintf("%x", h.Root),
+			}
+		}
+		payload["tree_head_size"] = total
+		payload["shards"] = shardHeads
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 func (s *Server) handlePatientRecords(w http.ResponseWriter, r *http.Request) {

@@ -125,7 +125,7 @@ type Options struct {
 // Run migrates the records with the given IDs from source to target.
 // Records that fail verification are skipped and reported; the rest
 // complete. The returned manifest is what the source signed.
-func Run(source, target *core.Vault, ids []string, opts Options) (Report, error) {
+func Run(source, target core.API, ids []string, opts Options) (Report, error) {
 	if opts.Actor == "" {
 		return Report{}, errors.New("migrate: Options.Actor is required")
 	}

@@ -7,6 +7,7 @@ import (
 
 	"medvault/internal/audit"
 	"medvault/internal/authz"
+	"medvault/internal/core"
 	"medvault/internal/ehr"
 	"medvault/internal/index"
 	"medvault/internal/provenance"
@@ -39,6 +40,15 @@ type auEvent struct {
 	Record  string
 	Version uint64
 	Outcome audit.Outcome
+}
+
+// jEntry is one expected audit event on one shard's chain. At mirrors the
+// vault-side event timestamp (the virtual clock at append time); it is never
+// compared directly, but it drives the model's prediction of cross-shard
+// merge order, which sorts stably by timestamp over shard-order concat.
+type jEntry struct {
+	ev auEvent
+	at time.Time
 }
 
 // mVersion is one committed version in the model.
@@ -92,13 +102,14 @@ func fail(k errKind) outcome { return outcome{kind: k} }
 type Model struct {
 	name     string // vault system name (VerifyAll audits under it)
 	now      time.Time
+	shards   int // cluster shard count the model routes journals by (min 1)
 	roles    map[string]authz.Role
 	staff    map[string][]string
 	grants   map[string]time.Time // break-glass expiry by actor; memory-only
 	policies map[string]time.Duration
 	records  map[string]*mRecord
 	holds    map[string]bool
-	journal  []auEvent // the expected audit chain, in order
+	journals [][]jEntry // expected audit chain per shard, in append order
 	prov     map[string][]provenance.EventType
 }
 
@@ -108,6 +119,8 @@ func NewModel(name string, start time.Time) *Model {
 	m := &Model{
 		name:     name,
 		now:      start.UTC(),
+		shards:   1,
+		journals: make([][]jEntry, 1),
 		roles:    make(map[string]authz.Role),
 		staff:    make(map[string][]string),
 		grants:   make(map[string]time.Time),
@@ -126,6 +139,74 @@ func NewModel(name string, start time.Time) *Model {
 		m.policies[p.Category] = p.Period
 	}
 	return m
+}
+
+// setShards sizes the model for an n-shard cluster. Called once, before any
+// step executes; with n == 1 (the default) routing degenerates to the
+// single-journal model this package started with.
+func (m *Model) setShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.shards = n
+	m.journals = make([][]jEntry, n)
+}
+
+// route names the shard a record's audit events land on — the same routing
+// the cluster applies to the operation itself, since every shard audits the
+// operations it executes.
+func (m *Model) route(record string) int {
+	return core.ShardOf(record, m.shards)
+}
+
+// append adds an expected event to the owning shard's chain: the record's
+// shard when the event names a record, otherwise every shard — record-less
+// operations (search, break-glass grants, audit-query and disclosure
+// decisions, verification summaries) fan out, and each shard audits its own
+// leg.
+func (m *Model) append(e auEvent) {
+	if e.Record == "" {
+		m.appendAll(e)
+		return
+	}
+	m.appendShard(m.route(e.Record), e)
+}
+
+// appendShard adds an expected event to one specific shard's chain.
+func (m *Model) appendShard(s int, e auEvent) {
+	m.journals[s] = append(m.journals[s], jEntry{ev: e, at: m.now})
+}
+
+// appendAll adds the event to every shard's chain, in shard order.
+func (m *Model) appendAll(e auEvent) {
+	for s := range m.journals {
+		m.appendShard(s, e)
+	}
+}
+
+// journalFor projects shard s's expected chain to comparable events.
+func (m *Model) journalFor(s int) []auEvent {
+	out := make([]auEvent, len(m.journals[s]))
+	for i, j := range m.journals[s] {
+		out[i] = j.ev
+	}
+	return out
+}
+
+// mergedJournal predicts the cluster-level audit query result: per-shard
+// chains concatenated in shard order, stably sorted by timestamp — the
+// cluster's documented merge rule.
+func (m *Model) mergedJournal() []auEvent {
+	var all []jEntry
+	for s := range m.journals {
+		all = append(all, m.journals[s]...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].at.Before(all[j].at) })
+	out := make([]auEvent, len(all))
+	for i, j := range all {
+		out[i] = j.ev
+	}
+	return out
 }
 
 // Staff returns the simulator's fixed principal→role registration, applied
@@ -178,17 +259,17 @@ func (m *Model) authorize(actor string, act authz.Action, action audit.Action, r
 	if !allowed {
 		out = audit.OutcomeDenied
 	}
-	m.journal = append(m.journal, auEvent{actor, action, record, version, out})
+	m.append(auEvent{actor, action, record, version, out})
 	if allowed && bg {
-		m.journal = append(m.journal, auEvent{actor, audit.ActionBreakGlass, record, version, audit.OutcomeAllowed})
+		m.append(auEvent{actor, audit.ActionBreakGlass, record, version, audit.OutcomeAllowed})
 	}
 	return allowed
 }
 
 // probe mirrors Vault.auditProbe: failed lookups are audited with an error
-// outcome.
+// outcome (on the probed record's shard).
 func (m *Model) probe(actor string, action audit.Action, record string, version uint64) {
-	m.journal = append(m.journal, auEvent{actor, action, record, version, audit.OutcomeError})
+	m.append(auEvent{actor, action, record, version, audit.OutcomeError})
 }
 
 // tokensOf computes the index token set of a record payload, matching what
@@ -365,7 +446,7 @@ func (m *Model) search(s Step, conjunctive bool) outcome {
 	if !allowed {
 		out = audit.OutcomeDenied
 	}
-	m.journal = append(m.journal, auEvent{s.Actor, audit.ActionSearch, "", 0, out})
+	m.append(auEvent{s.Actor, audit.ActionSearch, "", 0, out})
 	if !allowed {
 		return fail(eDenied)
 	}
@@ -401,11 +482,11 @@ func (m *Model) shred(s Step) outcome {
 		return fail(eDenied)
 	}
 	if m.holds[s.Record] {
-		m.journal = append(m.journal, auEvent{s.Actor, audit.ActionDelete, s.Record, 0, audit.OutcomeDenied})
+		m.append(auEvent{s.Actor, audit.ActionDelete, s.Record, 0, audit.OutcomeDenied})
 		return fail(eOnHold)
 	}
 	if m.now.Before(m.expiresAt(r)) {
-		m.journal = append(m.journal, auEvent{s.Actor, audit.ActionDelete, s.Record, 0, audit.OutcomeDenied})
+		m.append(auEvent{s.Actor, audit.ActionDelete, s.Record, 0, audit.OutcomeDenied})
 		return fail(eRetention)
 	}
 	r.Shredded = true
@@ -431,7 +512,7 @@ func (m *Model) placeHold(s Step) outcome {
 		return fail(eDenied)
 	}
 	m.holds[s.Record] = true
-	m.journal = append(m.journal, auEvent{s.Actor, audit.ActionPolicy, s.Record, 0, audit.OutcomeAllowed})
+	m.append(auEvent{s.Actor, audit.ActionPolicy, s.Record, 0, audit.OutcomeAllowed})
 	return outcome{kind: eOK}
 }
 
@@ -443,7 +524,7 @@ func (m *Model) releaseHold(s Step) outcome {
 		return fail(eDenied)
 	}
 	delete(m.holds, s.Record)
-	m.journal = append(m.journal, auEvent{s.Actor, audit.ActionPolicy, s.Record, 0, audit.OutcomeAllowed})
+	m.append(auEvent{s.Actor, audit.ActionPolicy, s.Record, 0, audit.OutcomeAllowed})
 	return outcome{kind: eOK}
 }
 
@@ -456,7 +537,7 @@ func (m *Model) breakGlass(s Step) outcome {
 		return fail(eBadInput)
 	}
 	m.grants[s.Actor] = m.now.Add(time.Duration(s.Minutes) * time.Minute)
-	m.journal = append(m.journal, auEvent{s.Actor, audit.ActionBreakGlass, "", 0, audit.OutcomeAllowed})
+	m.append(auEvent{s.Actor, audit.ActionBreakGlass, "", 0, audit.OutcomeAllowed})
 	return outcome{kind: eOK}
 }
 
@@ -488,10 +569,13 @@ func (m *Model) disclosures(s Step) outcome {
 }
 
 // disclosuresFor reconstructs the expected accounting from the model
-// journal using the same algorithm as the vault: disclosure-class actions
+// journals using the same algorithm as the vault: disclosure-class actions
 // on the patient's records, with break-glass accesses marked by the paired
-// event at the adjacent position. Journal positions equal audit sequence
-// numbers, so adjacency here means adjacency there.
+// event at the adjacent position. Adjacency is shard-local — both events of
+// a break-glass pair name the record, so they land on the same shard, where
+// journal positions equal audit sequence numbers. Per-shard accountings are
+// then merged exactly like the cluster merges them: concatenated in shard
+// order, stably sorted by timestamp.
 func (m *Model) disclosuresFor(mrn string) []mDisclosure {
 	recs := make(map[string]bool)
 	for id, r := range m.records {
@@ -499,23 +583,35 @@ func (m *Model) disclosuresFor(mrn string) []mDisclosure {
 			recs[id] = true
 		}
 	}
-	bg := make(map[int]bool)
-	for i, e := range m.journal {
-		if e.Action == audit.ActionBreakGlass && e.Record != "" {
-			bg[i-1] = true
+	type tDisclosure struct {
+		d  mDisclosure
+		at time.Time
+	}
+	var all []tDisclosure
+	for s := range m.journals {
+		bg := make(map[int]bool)
+		for i, j := range m.journals[s] {
+			if j.ev.Action == audit.ActionBreakGlass && j.ev.Record != "" {
+				bg[i-1] = true
+			}
+		}
+		for i, j := range m.journals[s] {
+			e := j.ev
+			if !recs[e.Record] {
+				continue
+			}
+			switch e.Action {
+			case audit.ActionRead, audit.ActionCreate, audit.ActionCorrect,
+				audit.ActionDelete, audit.ActionMigrateOut, audit.ActionMigrateIn,
+				audit.ActionBackup, audit.ActionRestore:
+				all = append(all, tDisclosure{mDisclosure{e.Actor, e.Action, e.Record, e.Version, e.Outcome, bg[i]}, j.at})
+			}
 		}
 	}
-	out := []mDisclosure{}
-	for i, e := range m.journal {
-		if !recs[e.Record] {
-			continue
-		}
-		switch e.Action {
-		case audit.ActionRead, audit.ActionCreate, audit.ActionCorrect,
-			audit.ActionDelete, audit.ActionMigrateOut, audit.ActionMigrateIn,
-			audit.ActionBackup, audit.ActionRestore:
-			out = append(out, mDisclosure{e.Actor, e.Action, e.Record, e.Version, e.Outcome, bg[i]})
-		}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].at.Before(all[j].at) })
+	out := make([]mDisclosure, len(all))
+	for i, t := range all {
+		out[i] = t.d
 	}
 	return out
 }
@@ -609,8 +705,9 @@ func (m *Model) heldIDs() []string {
 }
 
 // noteVaultEvent appends an event the vault writes outside authorize
-// (VerifyAll's own summary event, audit queries' decision events).
-func (m *Model) noteVaultEvent(e auEvent) { m.journal = append(m.journal, e) }
+// (VerifyAll's own summary event, audit queries' decision events) to every
+// shard — per-shard instances of these go through appendShard directly.
+func (m *Model) noteVaultEvent(e auEvent) { m.appendAll(e) }
 
 // --- crash / restart reconciliation ---
 
@@ -618,22 +715,23 @@ func (m *Model) noteVaultEvent(e auEvent) { m.journal = append(m.journal, e) }
 // not survive a remount.
 func (m *Model) clearGrants() { m.grants = make(map[string]time.Time) }
 
-// resyncJournal reconciles the model's expected audit chain with the chain
+// resyncJournal reconciles shard s's expected audit chain with the chain
 // that actually survived a crash or restart. The audit store's tail is not
 // fsynced per event, so a power cut may truncate it; what survived must be
 // a prefix of what the model expected, and the model adopts the truncation.
 // It returns the mismatch position and false if the survivor is NOT a
 // prefix — that is a real divergence, not crash damage.
-func (m *Model) resyncJournal(actual []auEvent) (int, bool) {
-	if len(actual) > len(m.journal) {
-		return len(m.journal), false
+func (m *Model) resyncJournal(s int, actual []auEvent) (int, bool) {
+	journal := m.journals[s]
+	if len(actual) > len(journal) {
+		return len(journal), false
 	}
 	for i, e := range actual {
-		if e != m.journal[i] {
+		if e != journal[i].ev {
 			return i, false
 		}
 	}
-	m.journal = m.journal[:len(actual):len(actual)]
+	m.journals[s] = journal[:len(actual):len(actual)]
 	return 0, true
 }
 
@@ -643,23 +741,23 @@ func (m *Model) resyncJournal(actual []auEvent) (int, bool) {
 // one-shot injected fault can leave the persisted chain equal to the
 // expectation with exactly one event deleted mid-chain. At most one
 // deletion is tried — anything beyond that is a real divergence.
-func (m *Model) resyncJournalLossy(actual []auEvent) (int, bool) {
-	pos, ok := m.resyncJournal(actual)
+func (m *Model) resyncJournalLossy(s int, actual []auEvent) (int, bool) {
+	pos, ok := m.resyncJournal(s, actual)
 	if ok {
 		return 0, true
 	}
-	if pos >= len(m.journal) {
+	if pos >= len(m.journals[s]) {
 		return pos, false // chain is longer than expected: not a dropped append
 	}
-	saved := m.journal
-	trial := make([]auEvent, 0, len(saved)-1)
+	saved := m.journals[s]
+	trial := make([]jEntry, 0, len(saved)-1)
 	trial = append(trial, saved[:pos]...)
 	trial = append(trial, saved[pos+1:]...)
-	m.journal = trial
-	if _, ok := m.resyncJournal(actual); ok {
+	m.journals[s] = trial
+	if _, ok := m.resyncJournal(s, actual); ok {
 		return 0, true
 	}
-	m.journal = saved
+	m.journals[s] = saved
 	return pos, false
 }
 

@@ -45,6 +45,7 @@ type RunOpts struct {
 	Seed    int64
 	Ops     int
 	Workers int  // logical writers the generator interleaves (min 1)
+	Shards  int  // cluster shard count; <= 1 runs the classic single vault
 	Durable bool // file-backed vault over faultfs.Mem, with crash/fault steps
 	Name    string
 	Logf    func(format string, args ...any) // nil = silent
@@ -60,7 +61,13 @@ func Run(opts RunOpts) (Trace, *Divergence) {
 	if opts.Name == "" {
 		opts.Name = "medsim"
 	}
-	plan := Plan{Format: traceFormat, Seed: opts.Seed, Workers: opts.Workers, Durable: opts.Durable, Name: opts.Name}
+	// Shards <= 1 is recorded as 0 so pre-cluster traces keep their hashes:
+	// the field marshals omitempty and the engine treats both as one shard.
+	shards := opts.Shards
+	if shards <= 1 {
+		shards = 0
+	}
+	plan := Plan{Format: traceFormat, Seed: opts.Seed, Workers: opts.Workers, Shards: shards, Durable: opts.Durable, Name: opts.Name}
 	t := Trace{Plan: plan}
 	e, err := newEngine(plan, opts.Logf)
 	if err != nil {
@@ -127,40 +134,54 @@ func (i *schedInjector) inject(op faultfs.Op) *faultfs.Fault {
 	return nil
 }
 
-// engine holds one run's live state: the model, the vault, the simulated
-// disk, and the off-system memory (remembered heads and checkpoints).
+// engine holds one run's live state: the model, the vault cluster, the
+// simulated disk, and the off-system memory (remembered heads and
+// checkpoints, kept per shard — each shard's logs are a separate trust
+// domain, so its extension proofs only make sense against its own history).
 type engine struct {
-	plan  Plan
-	model *Model
-	logf  func(format string, args ...any)
+	plan   Plan
+	model  *Model
+	logf   func(format string, args ...any)
+	shards int // effective shard count (plan.Shards, min 1)
 
 	vc     *clock.Virtual
 	master [32]byte
 	mem    *faultfs.Mem
 	faulty *faultfs.Faulty
 	inj    *schedInjector
-	v      *core.Vault
+	v      *core.Cluster
 
-	heads []merkle.SignedTreeHead
-	cps   []audit.Checkpoint
+	heads [][]merkle.SignedTreeHead // indexed by shard
+	cps   [][]audit.Checkpoint     // indexed by shard
 }
 
 func newEngine(plan Plan, logf func(format string, args ...any)) (*engine, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	shards := plan.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	e := &engine{
 		plan:   plan,
 		model:  NewModel(plan.Name, simEpoch),
 		logf:   logf,
+		shards: shards,
 		vc:     clock.NewVirtual(simEpoch),
 		master: sha256.Sum256([]byte(fmt.Sprintf("medsim-master/%s/%d", plan.Name, plan.Seed))),
+		heads:  make([][]merkle.SignedTreeHead, shards),
+		cps:    make([][]audit.Checkpoint, shards),
 	}
+	e.model.setShards(shards)
 	if plan.Durable {
 		e.mem = faultfs.NewMem()
 	}
 	return e, e.open()
 }
+
+// shard returns the per-shard vault handle for direct chain/head access.
+func (e *engine) shard(s int) *core.Vault { return e.v.Shard(s) }
 
 // open mounts (or remounts) the vault over the current disk image with a
 // fresh fault wrapper, and re-registers the staff — principals are
@@ -177,7 +198,7 @@ func (e *engine) open() error {
 		cfg.Dir = "vault"
 		cfg.FS = e.faulty
 	}
-	v, err := core.Open(cfg)
+	v, err := core.OpenCluster(cfg, e.shards)
 	if err != nil {
 		return err
 	}
@@ -247,8 +268,12 @@ func (e *engine) exec(i int, s Step) *Divergence {
 	if got, wantN := e.v.Len(), len(e.model.liveIDs()); got != wantN {
 		return div("live records: vault %d, model %d", got, wantN)
 	}
-	if got, wantN := e.v.Head().Size, uint64(e.model.totalVersions()); got != wantN {
-		return div("commitment log size: vault %d, model %d", got, wantN)
+	var logSize uint64
+	for _, h := range e.v.Heads() {
+		logSize += h.Size
+	}
+	if wantN := uint64(e.model.totalVersions()); logSize != wantN {
+		return div("commitment log size: vault %d, model %d", logSize, wantN)
 	}
 	return nil
 }
@@ -518,20 +543,39 @@ func (e *engine) deepCheck(i int, s Step) *Divergence {
 	}
 	m := e.model
 
-	rep, err := e.v.VerifyAll(e.heads, e.cps)
-	if err != nil {
-		return div("VerifyAll: %v", err)
+	// Sweep each shard under its own remembered heads and checkpoints —
+	// extension proofs are shard-local — then, when sharded, run the
+	// cluster-level fan-out sweep too so its merge arithmetic is checked.
+	totalVersions, totalRecords := 0, 0
+	for s := 0; s < e.shards; s++ {
+		rep, err := e.shard(s).VerifyAll(e.heads[s], e.cps[s])
+		if err != nil {
+			return div("shard %d VerifyAll: %v", s, err)
+		}
+		m.appendShard(s, auEvent{m.name, audit.ActionVerify, "", 0, audit.OutcomeAllowed})
+		if rep.HeadsChecked != len(e.heads[s]) || rep.CheckpointsProven != len(e.cps[s]) {
+			return div("shard %d VerifyAll remembered: %d/%d heads, %d/%d checkpoints",
+				s, rep.HeadsChecked, len(e.heads[s]), rep.CheckpointsProven, len(e.cps[s]))
+		}
+		totalVersions += rep.VersionsChecked
+		totalRecords += rep.RecordsChecked
 	}
-	m.noteVaultEvent(auEvent{m.name, audit.ActionVerify, "", 0, audit.OutcomeAllowed})
-	if rep.VersionsChecked != m.totalVersions() {
-		return div("VerifyAll versions: vault %d, model %d", rep.VersionsChecked, m.totalVersions())
+	if totalVersions != m.totalVersions() {
+		return div("VerifyAll versions: vault %d, model %d", totalVersions, m.totalVersions())
 	}
-	if rep.RecordsChecked != len(m.records) {
-		return div("VerifyAll records: vault %d, model %d", rep.RecordsChecked, len(m.records))
+	if totalRecords != len(m.records) {
+		return div("VerifyAll records: vault %d, model %d", totalRecords, len(m.records))
 	}
-	if rep.HeadsChecked != len(e.heads) || rep.CheckpointsProven != len(e.cps) {
-		return div("VerifyAll remembered: %d/%d heads, %d/%d checkpoints",
-			rep.HeadsChecked, len(e.heads), rep.CheckpointsProven, len(e.cps))
+	if e.shards > 1 {
+		rep, err := e.v.VerifyAll(nil, nil)
+		if err != nil {
+			return div("cluster VerifyAll: %v", err)
+		}
+		m.noteVaultEvent(auEvent{m.name, audit.ActionVerify, "", 0, audit.OutcomeAllowed})
+		if rep.VersionsChecked != m.totalVersions() || rep.RecordsChecked != len(m.records) {
+			return div("cluster VerifyAll totals: vault %d versions / %d records, model %d / %d",
+				rep.VersionsChecked, rep.RecordsChecked, m.totalVersions(), len(m.records))
+		}
 	}
 
 	if got, want := e.v.RecordIDs(), m.liveIDs(); !sameIDs(got, want) {
@@ -589,41 +633,69 @@ func (e *engine) deepCheck(i int, s Step) *Divergence {
 		}
 	}
 
-	m.authorize(auditor, authz.ActAudit, audit.ActionVerify, "", 0, "")
-	evs, err := e.v.AuditEvents(auditor, audit.Query{})
-	if err != nil {
-		return div("audit query: %v", err)
-	}
-	got := projectEvents(evs)
-	if len(got) != len(m.journal) {
-		return div("audit journal length: vault %d, model %d", len(got), len(m.journal))
-	}
-	for j := range got {
-		if got[j] != m.journal[j] {
-			return div("audit journal[%d]: vault %+v, model %+v", j, got[j], m.journal[j])
+	// Each shard's chain is compared in full against the model's per-shard
+	// journal — Seq numbers are shard-local, so they must be dense per shard.
+	for s := 0; s < e.shards; s++ {
+		m.appendShard(s, auditQueryEvent(""))
+		evs, err := e.shard(s).AuditEvents(auditor, audit.Query{})
+		if err != nil {
+			return div("shard %d audit query: %v", s, err)
+		}
+		got := projectEvents(evs)
+		want := m.journalFor(s)
+		if len(got) != len(want) {
+			return div("shard %d audit journal length: vault %d, model %d", s, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return div("shard %d audit journal[%d]: vault %+v, model %+v", s, j, got[j], want[j])
+			}
+		}
+		for j, ev := range evs {
+			if ev.Seq != uint64(j) {
+				return div("shard %d audit seq[%d] = %d", s, j, ev.Seq)
+			}
 		}
 	}
-	for j, ev := range evs {
-		if ev.Seq != uint64(j) {
-			return div("audit seq[%d] = %d", j, ev.Seq)
+	if e.shards > 1 {
+		// The cluster-level query audits its decision on every shard and
+		// merges chronologically; the model's merged journal must match
+		// event for event.
+		m.authorize(auditor, authz.ActAudit, audit.ActionVerify, "", 0, "")
+		evs, err := e.v.AuditEvents(auditor, audit.Query{})
+		if err != nil {
+			return div("cluster audit query: %v", err)
+		}
+		got := projectEvents(evs)
+		want := m.mergedJournal()
+		if len(got) != len(want) {
+			return div("merged audit journal length: vault %d, model %d", len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				return div("merged audit journal[%d]: vault %+v, model %+v", j, got[j], want[j])
+			}
 		}
 	}
 
 	// Remember this moment off-system: future sweeps must prove the logs
 	// still extend it.
-	e.heads = append(e.heads, e.v.Head())
-	e.cps = append(e.cps, e.v.AuditCheckpoint())
-	if len(e.heads) > 8 {
-		e.heads = e.heads[len(e.heads)-8:]
-	}
-	if len(e.cps) > 8 {
-		e.cps = e.cps[len(e.cps)-8:]
+	for s := 0; s < e.shards; s++ {
+		e.heads[s] = append(e.heads[s], e.shard(s).Head())
+		e.cps[s] = append(e.cps[s], e.shard(s).AuditCheckpoint())
+		if len(e.heads[s]) > 8 {
+			e.heads[s] = e.heads[s][len(e.heads[s])-8:]
+		}
+		if len(e.cps[s]) > 8 {
+			e.cps[s] = e.cps[s][len(e.cps[s])-8:]
+		}
 	}
 	return nil
 }
 
-// holdIDs lists the vault's held record IDs, sorted.
-func holdIDs(v *core.Vault) []string {
+// holdIDs lists the cluster's held record IDs, sorted (the retention manager
+// is shared, so this is whole-cluster state regardless of shard count).
+func holdIDs(v core.API) []string {
 	holds := v.Retention().Holds()
 	ids := make([]string, 0, len(holds))
 	for _, h := range holds {
@@ -680,7 +752,7 @@ func (e *engine) reopenAndResync(i int, s Step) *Divergence {
 	}
 	m := e.model
 	m.clearGrants()
-	e.cps = nil
+	e.cps = make([][]audit.Checkpoint, e.shards)
 	return e.resyncTails(i, s, m.allIDs(), nil, false)
 }
 
@@ -697,33 +769,38 @@ func (e *engine) resyncTails(i int, s Step, provIDs []string, warn *auEvent, los
 		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
 	}
 	m := e.model
-	evs, err := e.v.AuditEvents(auditor, audit.Query{})
-	if err != nil {
-		return div("audit query after remount: %v", err)
-	}
-	got := projectEvents(evs)
-	if len(got) == 0 || got[len(got)-1] != auditQueryEvent("") {
-		return div("audit chain after remount does not end with the query's own event")
-	}
-	if chain := got[:len(got)-1]; warn != nil && len(chain) > len(m.journal) && chain[len(m.journal)] == *warn {
-		m.journal = append(m.journal, *warn)
-	}
-	resync := m.resyncJournal
-	if lossy {
-		resync = m.resyncJournalLossy
-	}
-	if pos, ok := resync(got[:len(got)-1]); !ok {
-		have := "<past end>"
-		if pos < len(got)-1 {
-			have = fmt.Sprintf("%+v", got[pos])
+	for sh := 0; sh < e.shards; sh++ {
+		evs, err := e.shard(sh).AuditEvents(auditor, audit.Query{})
+		if err != nil {
+			return div("shard %d audit query after remount: %v", sh, err)
 		}
-		want := "<past end>"
-		if pos < len(m.journal) {
-			want = fmt.Sprintf("%+v", m.journal[pos])
+		got := projectEvents(evs)
+		if len(got) == 0 || got[len(got)-1] != auditQueryEvent("") {
+			return div("shard %d audit chain after remount does not end with the query's own event", sh)
 		}
-		return div("audit chain after remount is not a prefix of expectations (at %d: vault %s, model %s)", pos, have, want)
+		chain := got[:len(got)-1]
+		// A post-commit warn event names its record, so it can only have
+		// landed on that record's shard.
+		if warn != nil && m.route(warn.Record) == sh && len(chain) > len(m.journals[sh]) && chain[len(m.journals[sh])] == *warn {
+			m.appendShard(sh, *warn)
+		}
+		resync := m.resyncJournal
+		if lossy {
+			resync = m.resyncJournalLossy
+		}
+		if pos, ok := resync(sh, chain); !ok {
+			have := "<past end>"
+			if pos < len(chain) {
+				have = fmt.Sprintf("%+v", chain[pos])
+			}
+			want := "<past end>"
+			if pos < len(m.journals[sh]) {
+				want = fmt.Sprintf("%+v", m.journals[sh][pos].ev)
+			}
+			return div("shard %d audit chain after remount is not a prefix of expectations (at %d: vault %s, model %s)", sh, pos, have, want)
+		}
+		m.appendShard(sh, auditQueryEvent(""))
 	}
-	m.noteVaultEvent(auditQueryEvent(""))
 	for _, id := range provIDs {
 		m.authorize(auditor, authz.ActAudit, audit.ActionVerify, id, 0, "")
 		chain, err := e.v.Provenance(auditor, id)
@@ -759,7 +836,7 @@ func (e *engine) reconcile(i int, s Step, want outcome) *Divergence {
 	}
 	m := e.model
 	m.clearGrants()
-	e.cps = nil
+	e.cps = make([][]audit.Checkpoint, e.shards)
 
 	// If the mutation itself committed, the fault may instead have landed in
 	// the post-commit custody append, which the vault reports as an

@@ -82,6 +82,7 @@ type Plan struct {
 	Format  int    `json:"medsim"` // trace format version
 	Seed    int64  `json:"seed"`
 	Workers int    `json:"workers"`
+	Shards  int    `json:"shards,omitempty"` // cluster shard count; 0 or absent = single vault
 	Durable bool   `json:"durable"`
 	Name    string `json:"name,omitempty"` // vault system name; defaults to "medsim"
 }

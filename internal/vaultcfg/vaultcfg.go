@@ -52,23 +52,59 @@ func GenerateMasterKey() (vcrypto.Key, string, error) {
 }
 
 // Options carries the tunables a deployment may want to set; the zero value
-// selects the defaults. Cache knobs follow core.Config semantics: zero means
-// default, negative disables that cache layer.
+// selects the defaults.
+//
+// Sizing-knob semantics (the single source of truth, shared by every cache
+// flag and config field): 0 selects the built-in default, the sentinel -1
+// disables that cache layer entirely, positive sets an explicit bound. Any
+// other negative value is a configuration mistake and is rejected by
+// Validate rather than silently treated as "disabled".
 type Options struct {
 	DEKCacheEntries int   // plaintext-DEK cache bound (entries)
 	BlockCacheBytes int64 // ciphertext block cache bound (bytes)
 	NegCacheEntries int   // negative-lookup cache bound (entries)
+
+	// Shards is the cluster's shard count: 0 adopts the existing layout (the
+	// cluster manifest's pinned count, or 1 for a fresh or pre-cluster
+	// directory), 1..core.MaxShards opens that many shards. The count is
+	// fixed at creation; reopening with a different value is an error.
+	Shards int
+}
+
+// CacheDisabled is the documented sentinel that disables a cache layer.
+const CacheDisabled = -1
+
+// Validate rejects nonsensical option values with an error naming the knob.
+func (o Options) Validate() error {
+	if o.DEKCacheEntries < CacheDisabled {
+		return fmt.Errorf("vaultcfg: dek-cache %d is invalid (0 = default, %d = disabled, >0 = bound)", o.DEKCacheEntries, CacheDisabled)
+	}
+	if o.BlockCacheBytes < CacheDisabled {
+		return fmt.Errorf("vaultcfg: block-cache %d is invalid (0 = default, %d = disabled, >0 = bound)", o.BlockCacheBytes, CacheDisabled)
+	}
+	if o.NegCacheEntries < CacheDisabled {
+		return fmt.Errorf("vaultcfg: neg-cache %d is invalid (0 = default, %d = disabled, >0 = bound)", o.NegCacheEntries, CacheDisabled)
+	}
+	if o.Shards < 0 || o.Shards > core.MaxShards {
+		return fmt.Errorf("vaultcfg: shards %d is invalid (0 = adopt existing layout, 1..%d = shard count)", o.Shards, core.MaxShards)
+	}
+	return nil
 }
 
 // Open opens (creating if needed) the durable vault at dir with the given
 // master key and system name, loading roles and principals.
-func Open(dir, name string, master vcrypto.Key) (*core.Vault, error) {
+func Open(dir, name string, master vcrypto.Key) (*core.Cluster, error) {
 	return OpenWith(dir, name, master, Options{})
 }
 
-// OpenWith is Open with explicit Options.
-func OpenWith(dir, name string, master vcrypto.Key, opt Options) (*core.Vault, error) {
-	v, err := core.Open(core.Config{
+// OpenWith is Open with explicit Options. The result is a *core.Cluster —
+// with Options.Shards 0 or 1 a pass-through over the classic single-vault
+// layout, otherwise a multi-shard cluster under dir.
+func OpenWith(dir, name string, master vcrypto.Key, opt Options) (*core.Cluster, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	v, err := core.OpenCluster(core.Config{
 		Name:                    name,
 		Master:                  master,
 		Dir:                     dir,
@@ -76,7 +112,7 @@ func OpenWith(dir, name string, master vcrypto.Key, opt Options) (*core.Vault, e
 		DEKCacheEntries:         opt.DEKCacheEntries,
 		BlockCacheBytes:         opt.BlockCacheBytes,
 		NegCacheEntries:         opt.NegCacheEntries,
-	})
+	}, opt.Shards)
 	if err != nil {
 		return nil, err
 	}

@@ -105,3 +105,58 @@ func TestPrincipalsFileCommentsAndBlanks(t *testing.T) {
 		t.Errorf("principals = %v", got)
 	}
 }
+
+func TestOptionsValidate(t *testing.T) {
+	valid := []Options{
+		{},
+		{DEKCacheEntries: CacheDisabled, BlockCacheBytes: CacheDisabled, NegCacheEntries: CacheDisabled},
+		{DEKCacheEntries: 64, BlockCacheBytes: 1 << 20, NegCacheEntries: 10, Shards: 4},
+		{Shards: 1},
+	}
+	for _, o := range valid {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", o, err)
+		}
+	}
+	invalid := []Options{
+		{DEKCacheEntries: -2},
+		{BlockCacheBytes: -7},
+		{NegCacheEntries: -100},
+		{Shards: -1},
+		{Shards: 100000},
+	}
+	for _, o := range invalid {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a nonsensical value", o)
+		}
+	}
+	// OpenWith enforces validation before touching the directory.
+	k, _, _ := GenerateMasterKey()
+	if _, err := OpenWith(t.TempDir(), "clinic", k, Options{BlockCacheBytes: -7}); err == nil {
+		t.Error("OpenWith accepted an invalid option")
+	}
+}
+
+func TestOpenWithShards(t *testing.T) {
+	dir := t.TempDir()
+	k, _, _ := GenerateMasterKey()
+	c, err := OpenWith(dir, "clinic", k, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 4 {
+		t.Errorf("NumShards = %d", c.NumShards())
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Shards: 0 adopts the pinned count on reopen.
+	c, err = OpenWith(dir, "clinic", k, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.NumShards() != 4 {
+		t.Errorf("adopted NumShards = %d", c.NumShards())
+	}
+}
