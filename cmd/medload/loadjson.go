@@ -1,0 +1,61 @@
+package main
+
+// Machine-readable load output, mirroring medbench's BENCH_<n>.json
+// pattern: the human table is for reading, CI wants something it can
+// archive, validate, and diff. writeLoadJSON serializes the run's report to
+// the first free LOAD_<n>.json in the chosen directory. The schema is
+// versioned ("medvault-load/v1") and documented in EXPERIMENTS.md;
+// consumers must ignore unknown fields.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// loadSchema versions the JSON layout. Bump it on any incompatible change.
+const loadSchema = "medvault-load/v1"
+
+// writeLoadJSON stamps and writes rep to the first free LOAD_<n>.json under
+// dir, printing the chosen path.
+func writeLoadJSON(dir string, rep *report) error {
+	rep.Schema = loadSchema
+	rep.Generated = time.Now().UTC()
+	if rep.Endpoints == nil {
+		rep.Endpoints = []endpointStats{}
+	}
+	if rep.Invariants == nil {
+		rep.Invariants = []invariantResult{}
+	}
+
+	path, f, err := nextLoadFile(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	fmt.Printf("wrote %s (schema %s)\n", path, loadSchema)
+	return nil
+}
+
+// nextLoadFile creates the first LOAD_<n>.json that does not already exist,
+// so successive runs in one directory never clobber each other. O_EXCL
+// makes the claim atomic even across concurrent runs.
+func nextLoadFile(dir string) (string, *os.File, error) {
+	for n := 0; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("LOAD_%d.json", n))
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			return path, f, nil
+		}
+		if !os.IsExist(err) {
+			return "", nil, fmt.Errorf("create %s: %w", path, err)
+		}
+	}
+}

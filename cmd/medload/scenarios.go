@@ -1,0 +1,425 @@
+package main
+
+// The load engine: scenario definitions, the shared world the actors read
+// and write, the run loop, and the post-run cross-actor invariant checks.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"medvault/internal/medclient"
+)
+
+// weighted is one persona's share of a scenario's actor pool.
+type weighted struct {
+	persona string
+	weight  int
+}
+
+// scenarios maps each named scenario to its persona mix. A run's actors are
+// split evenly across the selected scenarios, then within each by weight.
+var scenarios = map[string][]weighted{
+	// A ward admitting patients: write-heavy, with portal reads riding along.
+	"admission": {{"admit-clin", 3}, {"patient", 1}},
+	// An insurance audit: compliance-surface reads hammering the audit
+	// chain, custody, and disclosures while billing traffic continues.
+	"audit-storm": {{"ins-auditor", 2}, {"records-clerk", 2}},
+	// Evidence export: full-history pulls with versions and proofs.
+	"export-burst": {{"export-clin", 2}, {"investigator", 1}},
+	// A mass-casualty event: break-glass grants spike, and the auditors
+	// watch the emergency reads land in the trail as they happen.
+	"breakglass-spike": {{"bg-responder", 2}, {"ins-auditor", 1}},
+	// Business as usual: a bit of everything.
+	"steady": {{"admit-clin", 2}, {"records-clerk", 1}, {"ins-auditor", 1}, {"patient", 1}, {"investigator", 1}},
+}
+
+func scenarioNames() []string {
+	names := make([]string, 0, len(scenarios))
+	for k := range scenarios {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// config is one load run's parameters.
+type config struct {
+	Target      string
+	Actors      int
+	Duration    time.Duration
+	Scenarios   []string
+	P99Target   time.Duration
+	ErrorBudget float64
+
+	// Tunables with serviceable defaults (zero selects them).
+	MRNs             int           // patient pool size
+	WaitReady        time.Duration // how long to wait for a 200 from /healthz
+	InvariantSamples int           // per-invariant sample bound
+}
+
+func (c *config) defaults() {
+	if c.MRNs == 0 {
+		c.MRNs = 24
+	}
+	if c.WaitReady == 0 {
+		c.WaitReady = 30 * time.Second
+	}
+	if c.InvariantSamples == 0 {
+		c.InvariantSamples = 25
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = scenarioNames()
+	}
+}
+
+// world is the state the actors share: the record pools they draw read
+// targets from, and the samples the invariant phase replays against the
+// compliance surfaces. All appends are bounded.
+type world struct {
+	mrns []string
+	seq  atomic.Uint64
+
+	mu       sync.Mutex
+	clinical []recRef // id + mrn, readable by clinicians/nurses
+	billing  []string
+	created  []string // sampled create IDs (created-readable check)
+	bgReads  []bgRead // sampled break-glass reads (audit + disclosure checks)
+	denials  []denial // sampled expected-403 probes (denied-audited check)
+}
+
+type recRef struct{ id, mrn string }
+type bgRead struct{ actor, record, mrn string }
+type denial struct{ actor, record string }
+
+const sampleCap = 256 // per-sample-list bound; invariants check a subset anyway
+
+func newWorld(mrns int) *world {
+	w := &world{mrns: make([]string, mrns)}
+	for i := range w.mrns {
+		w.mrns[i] = fmt.Sprintf("mrn-load-%03d", i)
+	}
+	return w
+}
+
+func (w *world) randMRN(rnd *rand.Rand) string { return w.mrns[rnd.Intn(len(w.mrns))] }
+
+func (w *world) nextRecordID(mrn string) string {
+	return fmt.Sprintf("load/%s/r%06d", mrn, w.seq.Add(1))
+}
+
+func (w *world) addClinical(id, mrn string) {
+	w.mu.Lock()
+	w.clinical = append(w.clinical, recRef{id, mrn})
+	w.mu.Unlock()
+}
+
+func (w *world) addBilling(id string) {
+	w.mu.Lock()
+	w.billing = append(w.billing, id)
+	w.mu.Unlock()
+}
+
+func (w *world) randClinical(rnd *rand.Rand) (id, mrn string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.clinical) == 0 {
+		return "", ""
+	}
+	r := w.clinical[rnd.Intn(len(w.clinical))]
+	return r.id, r.mrn
+}
+
+func (w *world) randBilling(rnd *rand.Rand) string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.billing) == 0 {
+		return ""
+	}
+	return w.billing[rnd.Intn(len(w.billing))]
+}
+
+func (w *world) noteCreated(id string) {
+	w.mu.Lock()
+	if len(w.created) < sampleCap {
+		w.created = append(w.created, id)
+	}
+	w.mu.Unlock()
+}
+
+func (w *world) noteBGRead(actor, record, mrn string) {
+	w.mu.Lock()
+	if len(w.bgReads) < sampleCap {
+		w.bgReads = append(w.bgReads, bgRead{actor, record, mrn})
+	}
+	w.mu.Unlock()
+}
+
+func (w *world) noteDenial(actor, record string) {
+	w.mu.Lock()
+	if len(w.denials) < sampleCap {
+		w.denials = append(w.denials, denial{actor, record})
+	}
+	w.mu.Unlock()
+}
+
+// assignActors deals n actors across the selected scenarios round-robin,
+// and within each scenario across its personas by weight. The i-th actor of
+// a persona is the principal "<persona>-<i>".
+func assignActors(n int, names []string) []struct{ scenario, persona string } {
+	// Expand each scenario's mix into a repeating slot sequence.
+	slots := make(map[string][]string, len(names))
+	for _, s := range names {
+		var seq []string
+		for _, wp := range scenarios[s] {
+			for i := 0; i < wp.weight; i++ {
+				seq = append(seq, wp.persona)
+			}
+		}
+		slots[s] = seq
+	}
+	out := make([]struct{ scenario, persona string }, n)
+	taken := make(map[string]int, len(names)) // per-scenario slot cursor
+	for i := 0; i < n; i++ {
+		s := names[i%len(names)]
+		seq := slots[s]
+		out[i] = struct{ scenario, persona string }{s, seq[taken[s]%len(seq)]}
+		taken[s]++
+	}
+	return out
+}
+
+// runLoad drives one full run: readiness, seed, load window, invariants,
+// report. It is the testable engine behind the CLI.
+func runLoad(ctx context.Context, cfg config) (*report, error) {
+	cfg.defaults()
+
+	// The probe client: readiness, seeding, invariants. Unrecorded, so the
+	// latency report covers only the load window's traffic.
+	probe := medclient.New(cfg.Target)
+	shards, err := waitReady(ctx, probe, cfg.WaitReady)
+	if err != nil {
+		return nil, err
+	}
+
+	w := newWorld(cfg.MRNs)
+	if err := seed(ctx, probe, w); err != nil {
+		return nil, fmt.Errorf("seed phase: %w", err)
+	}
+
+	// The load window. Every actor derives from one recorded base client so
+	// the whole fleet multiplexes over a single connection pool.
+	col := newCollector()
+	base := medclient.New(cfg.Target, medclient.WithRecorder(col))
+	assignments := assignActors(cfg.Actors, cfg.Scenarios)
+
+	loadCtx, cancel := context.WithCancel(ctx)
+	timer := time.AfterFunc(cfg.Duration, func() {
+		col.stopping.Store(true)
+		cancel()
+	})
+	defer timer.Stop()
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	perPersona := make(map[string]int, len(personas))
+	for i, as := range assignments {
+		p := personas[as.persona]
+		idx := perPersona[as.persona]
+		perPersona[as.persona]++
+		principal := fmt.Sprintf("%s-%d", p.name, idx)
+		a := &actor{
+			c:   base.As(principal),
+			w:   w,
+			rnd: rand.New(rand.NewSource(int64(i)*7919 + 17)),
+			id:  principal,
+		}
+		wg.Add(1)
+		go func(script func(context.Context, *actor)) {
+			defer wg.Done()
+			for loadCtx.Err() == nil {
+				script(loadCtx, a)
+				// A short jitter interleaves personas without throttling the
+				// flood; beats are multi-call, so load stays high.
+				select {
+				case <-loadCtx.Done():
+					return
+				case <-time.After(time.Duration(a.rnd.Intn(4)+1) * time.Millisecond):
+				}
+			}
+		}(p.script)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Post-run: the compliance mechanisms must account for what the fleet
+	// just did.
+	invCtx, invCancel := context.WithTimeout(ctx, 60*time.Second)
+	defer invCancel()
+	invariants := checkInvariants(invCtx, probe, w, cfg.InvariantSamples)
+
+	rep := buildReport(cfg, shards, elapsed, col, invariants)
+	return rep, nil
+}
+
+// waitReady polls /healthz until the vault answers 200, returning the
+// cluster's shard count.
+func waitReady(ctx context.Context, probe *medclient.Client, patience time.Duration) (int, error) {
+	deadline := time.Now().Add(patience)
+	for {
+		h, status, err := probe.Healthz(ctx, http.StatusOK, http.StatusServiceUnavailable)
+		if err == nil && status == http.StatusOK {
+			return h.NumShards(), nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("target %s not ready after %s (last status %d, err %v)", probe.BaseURL(), patience, status, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// seed gives every MRN a small chart — two clinical notes and one billing
+// record — so read-heavy personas have targets from the first beat.
+func seed(ctx context.Context, probe *medclient.Client, w *world) error {
+	phys := probe.As(seedPhysician)
+	clerk := probe.As(seedClerk)
+	rnd := rand.New(rand.NewSource(1))
+	for _, mrn := range w.mrns {
+		for i := 0; i < 2; i++ {
+			id := w.nextRecordID(mrn)
+			if _, _, err := phys.CreateRecord(ctx, loadRecord(id, mrn, "clinical", clinicalBody(rnd))); err != nil {
+				return err
+			}
+			w.addClinical(id, mrn)
+		}
+		id := w.nextRecordID(mrn)
+		if _, _, err := clerk.CreateRecord(ctx, loadRecord(id, mrn, "billing", billingBody(rnd))); err != nil {
+			return err
+		}
+		w.addBilling(id)
+	}
+	return nil
+}
+
+// checkInvariants replays the run's samples against the compliance
+// surfaces through the checker officer's eyes.
+func checkInvariants(ctx context.Context, probe *medclient.Client, w *world, samples int) []invariantResult {
+	officer := probe.As(checkOfficer)
+	phys := probe.As(seedPhysician)
+
+	w.mu.Lock()
+	bgReads := append([]bgRead(nil), w.bgReads...)
+	denials := append([]denial(nil), w.denials...)
+	created := append([]string(nil), w.created...)
+	w.mu.Unlock()
+
+	var out []invariantResult
+
+	// Every sampled break-glass read is in the audit trail, marked as a
+	// break-glass decision.
+	inv := invariantResult{Name: "breakglass-audited"}
+	for _, r := range capSample(bgReads, samples) {
+		inv.Checked++
+		events, _, err := officer.Audit(ctx, medclient.AuditQuery{Actor: r.actor, Record: r.record})
+		if err != nil {
+			inv.fail(fmt.Sprintf("audit query for %s/%s: %v", r.actor, r.record, err))
+			continue
+		}
+		var found bool
+		for _, e := range events {
+			if e.Action == "read" && e.Outcome == "allowed" && strings.Contains(e.Detail, "break-glass") {
+				found = true
+				break
+			}
+		}
+		if !found {
+			inv.fail(fmt.Sprintf("break-glass read %s by %s missing from audit", r.record, r.actor))
+		}
+	}
+	out = append(out, inv)
+
+	// ...and in the patient's accounting of disclosures, flagged.
+	inv = invariantResult{Name: "breakglass-disclosed"}
+	for _, r := range capSample(bgReads, samples) {
+		inv.Checked++
+		ds, _, err := officer.Disclosures(ctx, r.mrn)
+		if err != nil {
+			inv.fail(fmt.Sprintf("disclosures for %s: %v", r.mrn, err))
+			continue
+		}
+		var found bool
+		for _, d := range ds {
+			if d.Actor == r.actor && d.Record == r.record && d.Action == "read" && d.BreakGlass {
+				found = true
+				break
+			}
+		}
+		if !found {
+			inv.fail(fmt.Sprintf("break-glass read %s by %s missing from %s disclosures", r.record, r.actor, r.mrn))
+		}
+	}
+	out = append(out, inv)
+
+	// Every sampled denial probe left an audited denial.
+	inv = invariantResult{Name: "denied-audited"}
+	for _, d := range capSample(denials, samples) {
+		inv.Checked++
+		events, _, err := officer.Audit(ctx, medclient.AuditQuery{Actor: d.actor, DeniedOnly: true})
+		if err != nil {
+			inv.fail(fmt.Sprintf("audit query for %s: %v", d.actor, err))
+			continue
+		}
+		var found bool
+		for _, e := range events {
+			if e.Record == d.record {
+				found = true
+				break
+			}
+		}
+		if !found {
+			inv.fail(fmt.Sprintf("denied read of %s by %s missing from audit", d.record, d.actor))
+		}
+	}
+	out = append(out, inv)
+
+	// Everything the fleet created is still readable.
+	inv = invariantResult{Name: "created-readable"}
+	for _, id := range capSample(created, samples) {
+		inv.Checked++
+		rec, _, err := phys.GetRecord(ctx, id)
+		if err != nil {
+			inv.fail(fmt.Sprintf("created record %s unreadable: %v", id, err))
+		} else if rec.Version < 1 {
+			inv.fail(fmt.Sprintf("created record %s has version %d", id, rec.Version))
+		}
+	}
+	out = append(out, inv)
+
+	// The vault still proves its own integrity after the stampede.
+	inv = invariantResult{Name: "verify-clean", Checked: 1}
+	if rep, _, err := officer.Verify(ctx); err != nil {
+		inv.fail(fmt.Sprintf("verify: %v", err))
+	} else if rep.Status != "ok" {
+		inv.fail(fmt.Sprintf("verify status %q: %s", rep.Status, rep.Error))
+	}
+	out = append(out, inv)
+
+	return out
+}
+
+func capSample[T any](s []T, n int) []T {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

@@ -64,6 +64,11 @@ var (
 	ErrIdentityChanged = errors.New("core: correction must not change record identity")
 	// ErrClosed indicates use of a closed vault.
 	ErrClosed = errors.New("core: vault closed")
+	// ErrWedged is wal.ErrWedged re-exported, so layers above core (httpapi)
+	// can classify "the WAL refused an fsync and the vault cannot durably
+	// commit" — a retryable outage, not a client error — without importing
+	// the wal package.
+	ErrWedged = wal.ErrWedged
 )
 
 // Version describes one committed version of a record.

@@ -215,8 +215,25 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// retryAfterSeconds is the Retry-After value on every 503 this API emits.
+// A wedged WAL or a closed vault is an outage, not a client error: load
+// balancers and well-behaved clients should back off and re-probe rather
+// than hammer a node that cannot durably commit. The value is deliberately
+// short — healthz polls are cheap, and a restarted node recovers in seconds.
+const retryAfterSeconds = "5"
+
+// writeUnavailable answers 503 with a Retry-After header, the one status
+// where the server can honestly tell the client when to try again.
+func writeUnavailable(w http.ResponseWriter, v any) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, http.StatusServiceUnavailable, v)
+}
+
 // writeErr maps vault sentinels to HTTP statuses. PHI never appears in
 // error bodies (core errors carry IDs and reasons, not record content).
+// Wedged-WAL and closed-vault failures are the node's problem, not the
+// request's: they map to 503 with a Retry-After so clients retry elsewhere
+// (or later) instead of treating a drainable outage as a hard error.
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
@@ -232,6 +249,9 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, core.ErrTampered):
 		status = http.StatusConflict
+	case errors.Is(err, core.ErrWedged), errors.Is(err, core.ErrClosed):
+		writeUnavailable(w, errorBody{Error: err.Error()})
+		return
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -356,6 +376,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	case h.WALWedged:
 		status, state = http.StatusServiceUnavailable, "wal-wedged"
 	}
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterSeconds)
+	}
 	payload := healthPayload{
 		Status:        state,
 		System:        s.vault.Name(),
@@ -402,6 +425,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if rec.CreatedAt.IsZero() {
 		rec.CreatedAt = time.Now().UTC()
+	}
+	// Validate before the vault does: a missing MRN or bogus category is a
+	// malformed request (400), not an internal error — the API's contract is
+	// that only node-side failures ever answer 5xx.
+	if err := rec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
 	}
 	ver, err := s.vault.PutCtx(r.Context(), a, rec)
 	if err != nil {
@@ -486,6 +516,10 @@ func (s *Server) handleCorrect(w http.ResponseWriter, r *http.Request) {
 	}
 	if rec.CreatedAt.IsZero() {
 		rec.CreatedAt = time.Now().UTC()
+	}
+	if err := rec.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
 	}
 	ver, err := s.vault.CorrectCtx(r.Context(), a, rec)
 	if err != nil {

@@ -3,7 +3,6 @@ package httpapi
 import (
 	"bytes"
 	"encoding/json"
-	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -19,18 +18,9 @@ import (
 
 var epoch = time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
 
-func newServer(t *testing.T) (*httptest.Server, *clock.Virtual) {
+// provisionPersonas installs the standard roles plus the test persona set.
+func provisionPersonas(t *testing.T, v *core.Vault) {
 	t.Helper()
-	master, err := vcrypto.NewKey()
-	if err != nil {
-		t.Fatal(err)
-	}
-	vc := clock.NewVirtual(epoch)
-	v, err := core.Open(core.Config{Name: "api-test", Master: master, Clock: vc})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { v.Close() })
 	a := v.Authz()
 	for _, r := range authz.StandardRoles() {
 		a.DefineRole(r)
@@ -43,9 +33,48 @@ func newServer(t *testing.T) (*httptest.Server, *clock.Virtual) {
 			t.Fatal(err)
 		}
 	}
+}
+
+func newServer(t *testing.T) (*httptest.Server, *clock.Virtual) {
+	t.Helper()
+	ts, _, vc := newRawServerClock(t)
+	return ts, vc
+}
+
+// newRawServer exposes the underlying vault alongside the server, for tests
+// that need to wedge, wrap, or close it out from under the handler.
+func newRawServer(t *testing.T) (*httptest.Server, *core.Vault) {
+	t.Helper()
+	ts, v, _ := newRawServerClock(t)
+	return ts, v
+}
+
+func newRawServerClock(t *testing.T) (*httptest.Server, *core.Vault, *clock.Virtual) {
+	t.Helper()
+	master, err := vcrypto.NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := clock.NewVirtual(epoch)
+	v, err := core.Open(core.Config{Name: "api-test", Master: master, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { v.Close() })
+	provisionPersonas(t, v)
 	ts := httptest.NewServer(New(v))
 	t.Cleanup(ts.Close)
-	return ts, vc
+	return ts, v, vc
+}
+
+// jsonBody marshals v into a request body reader.
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
 }
 
 // do sends a request as the given actor and decodes the JSON response.
@@ -98,301 +127,6 @@ func TestHealthz(t *testing.T) {
 	}
 	if out["status"] != "ok" {
 		t.Errorf("health = %v", out)
-	}
-}
-
-func TestCreateGetCorrectHistory(t *testing.T) {
-	ts, _ := newServer(t)
-	var created recordPayload
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), &created); code != http.StatusCreated {
-		t.Fatalf("create = %d", code)
-	}
-	if created.Version != 1 {
-		t.Errorf("created version = %d", created.Version)
-	}
-	// Duplicate conflicts.
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusConflict {
-		t.Errorf("duplicate = %d", code)
-	}
-
-	var got recordPayload
-	if code := do(t, ts, "GET", "/records/p1", "dr-house", nil, &got); code != 200 {
-		t.Fatalf("get = %d", code)
-	}
-	if got.Body != sampleRecord("p1").Body {
-		t.Error("round trip mismatch")
-	}
-
-	corr := sampleRecord("p1")
-	corr.Body = "confirmed hypertension stage 1"
-	var corrected recordPayload
-	if code := do(t, ts, "POST", "/records/p1/corrections", "dr-house", corr, &corrected); code != 200 {
-		t.Fatalf("correct = %d", code)
-	}
-	if corrected.Version != 2 {
-		t.Errorf("corrected version = %d", corrected.Version)
-	}
-
-	var v1 recordPayload
-	if code := do(t, ts, "GET", "/records/p1/versions/1", "dr-house", nil, &v1); code != 200 {
-		t.Fatalf("get v1 = %d", code)
-	}
-	if !strings.Contains(v1.Body, "suspected") {
-		t.Error("v1 content lost")
-	}
-
-	var hist []versionPayload
-	if code := do(t, ts, "GET", "/records/p1/history", "dr-house", nil, &hist); code != 200 {
-		t.Fatalf("history = %d", code)
-	}
-	if len(hist) != 2 || hist[1].Number != 2 {
-		t.Errorf("history = %v", hist)
-	}
-}
-
-func TestAuthzOverHTTP(t *testing.T) {
-	ts, _ := newServer(t)
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	// No actor header: 401.
-	if code := do(t, ts, "GET", "/records/p1", "", nil, nil); code != http.StatusUnauthorized {
-		t.Errorf("anonymous = %d", code)
-	}
-	// Clerk cannot read clinical: 403.
-	if code := do(t, ts, "GET", "/records/p1", "clerk-bob", nil, nil); code != http.StatusForbidden {
-		t.Errorf("clerk read = %d", code)
-	}
-	// Nurse can read but not correct.
-	if code := do(t, ts, "GET", "/records/p1", "nurse-joy", nil, nil); code != 200 {
-		t.Errorf("nurse read = %d", code)
-	}
-	corr := sampleRecord("p1")
-	if code := do(t, ts, "POST", "/records/p1/corrections", "nurse-joy", corr, nil); code != http.StatusForbidden {
-		t.Errorf("nurse correct = %d", code)
-	}
-	// Unknown record: 404.
-	if code := do(t, ts, "GET", "/records/ghost", "dr-house", nil, nil); code != http.StatusNotFound {
-		t.Errorf("missing = %d", code)
-	}
-	// The denials show up in the audit query (officer only).
-	var events []auditEventPayload
-	if code := do(t, ts, "GET", "/audit?denied=true", "officer-kim", nil, &events); code != 200 {
-		t.Fatalf("audit = %d", code)
-	}
-	if len(events) < 2 {
-		t.Errorf("audited %d denials", len(events))
-	}
-	if code := do(t, ts, "GET", "/audit", "dr-house", nil, nil); code != http.StatusForbidden {
-		t.Errorf("physician audit query = %d", code)
-	}
-}
-
-func TestSearchOverHTTP(t *testing.T) {
-	ts, _ := newServer(t)
-	for i := 0; i < 4; i++ {
-		r := sampleRecord(fmt.Sprintf("p%d", i))
-		if i%2 == 1 {
-			r.Body = "routine checkup, no findings"
-		}
-		if code := do(t, ts, "POST", "/records", "dr-house", r, nil); code != http.StatusCreated {
-			t.Fatal("seed failed")
-		}
-	}
-	var out struct {
-		IDs   []string `json:"ids"`
-		Count int      `json:"count"`
-	}
-	if code := do(t, ts, "GET", "/search?q=hypertension", "dr-house", nil, &out); code != 200 {
-		t.Fatalf("search = %d", code)
-	}
-	if out.Count != 2 {
-		t.Errorf("search hits = %v", out)
-	}
-	if code := do(t, ts, "GET", "/search", "dr-house", nil, nil); code != http.StatusBadRequest {
-		t.Errorf("missing q = %d", code)
-	}
-	// Conjunctive query: repeated q params.
-	if code := do(t, ts, "GET", "/search?q=hypertension&q=panel", "dr-house", nil, &out); code != 200 {
-		t.Fatalf("AND search = %d", code)
-	}
-	if out.Count != 2 {
-		t.Errorf("AND search hits = %v", out)
-	}
-	if code := do(t, ts, "GET", "/search?q=hypertension&q=findings", "dr-house", nil, &out); code != 200 || out.Count != 0 {
-		t.Errorf("disjoint AND search = %d, %v", code, out)
-	}
-}
-
-func TestShredOverHTTP(t *testing.T) {
-	ts, vc := newServer(t)
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	// Too early: retention active (403 or 500 — a denial from retention is
-	// an internal policy error; assert non-success).
-	if code := do(t, ts, "DELETE", "/records/p1", "arch-lee", nil, nil); code == 200 {
-		t.Fatal("early shred accepted")
-	}
-	vc.Advance(40 * 365 * 24 * time.Hour)
-	if code := do(t, ts, "DELETE", "/records/p1", "dr-house", nil, nil); code != http.StatusForbidden {
-		t.Errorf("physician shred = %d", code)
-	}
-	if code := do(t, ts, "DELETE", "/records/p1", "arch-lee", nil, nil); code != 200 {
-		t.Errorf("shred = %d", code)
-	}
-	// Gone afterwards.
-	if code := do(t, ts, "GET", "/records/p1", "dr-house", nil, nil); code != http.StatusGone {
-		t.Errorf("get after shred = %d", code)
-	}
-}
-
-func TestVerifyAndCustodyOverHTTP(t *testing.T) {
-	ts, _ := newServer(t)
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	var out map[string]any
-	if code := do(t, ts, "POST", "/verify", "officer-kim", nil, &out); code != 200 {
-		t.Fatalf("verify = %d: %v", code, out)
-	}
-	if out["status"] != "ok" {
-		t.Errorf("verify = %v", out)
-	}
-	var chain []custodyPayload
-	if code := do(t, ts, "GET", "/records/p1/custody", "officer-kim", nil, &chain); code != 200 {
-		t.Fatalf("custody = %d", code)
-	}
-	if len(chain) != 1 || chain[0].Type != "created" {
-		t.Errorf("custody = %v", chain)
-	}
-}
-
-func TestBreakGlassOverHTTP(t *testing.T) {
-	ts, _ := newServer(t)
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	// Clerk denied…
-	if code := do(t, ts, "GET", "/records/p1", "clerk-bob", nil, nil); code != http.StatusForbidden {
-		t.Fatal("precondition failed")
-	}
-	// …break-glass…
-	req := breakGlassRequest{Reason: "mass casualty triage", Minutes: 30}
-	if code := do(t, ts, "POST", "/breakglass", "clerk-bob", req, nil); code != 200 {
-		t.Fatalf("breakglass = %d", code)
-	}
-	// …now readable.
-	if code := do(t, ts, "GET", "/records/p1", "clerk-bob", nil, nil); code != 200 {
-		t.Error("break-glass read failed")
-	}
-	// Missing reason rejected.
-	if code := do(t, ts, "POST", "/breakglass", "clerk-bob", breakGlassRequest{}, nil); code != http.StatusBadRequest {
-		t.Errorf("empty reason = %d", code)
-	}
-}
-
-func TestPatientEndpoints(t *testing.T) {
-	ts, _ := newServer(t)
-	r1 := sampleRecord("mrn-1/enc-0")
-	r2 := sampleRecord("mrn-1/enc-1")
-	if code := do(t, ts, "POST", "/records", "dr-house", r1, nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	if code := do(t, ts, "POST", "/records", "dr-house", r2, nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	do(t, ts, "GET", "/records/mrn-1%2Fenc-0", "nurse-joy", nil, nil)
-
-	var recs struct {
-		IDs   []string `json:"ids"`
-		Count int      `json:"count"`
-	}
-	if code := do(t, ts, "GET", "/patients/mrn-1/records", "dr-house", nil, &recs); code != 200 {
-		t.Fatalf("patient records = %d", code)
-	}
-	if recs.Count != 2 {
-		t.Errorf("patient records = %v", recs)
-	}
-
-	var ds []disclosurePayload
-	if code := do(t, ts, "GET", "/patients/mrn-1/disclosures", "officer-kim", nil, &ds); code != 200 {
-		t.Fatalf("disclosures = %d", code)
-	}
-	if len(ds) != 3 { // 2 creates + 1 read
-		t.Errorf("disclosures = %v", ds)
-	}
-	// Physicians cannot pull accountings.
-	if code := do(t, ts, "GET", "/patients/mrn-1/disclosures", "dr-house", nil, nil); code != http.StatusForbidden {
-		t.Errorf("physician disclosures = %d", code)
-	}
-}
-
-func TestProofEndpoint(t *testing.T) {
-	ts, _ := newServer(t)
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	var proof proofPayload
-	if code := do(t, ts, "GET", "/records/p1/versions/1/proof", "dr-house", nil, &proof); code != 200 {
-		t.Fatalf("proof = %d", code)
-	}
-	if proof.RecordID != "p1" || proof.Version != 1 || proof.HeadSize == 0 || proof.VaultKey == "" {
-		t.Errorf("proof payload = %+v", proof)
-	}
-	if code := do(t, ts, "GET", "/records/p1/versions/9/proof", "dr-house", nil, nil); code != http.StatusNotFound {
-		t.Errorf("missing version proof = %d", code)
-	}
-	if code := do(t, ts, "GET", "/records/p1/versions/x/proof", "dr-house", nil, nil); code != http.StatusBadRequest {
-		t.Errorf("bad version proof = %d", code)
-	}
-}
-
-func TestRetentionEndpoints(t *testing.T) {
-	ts, vc := newServer(t)
-	if code := do(t, ts, "POST", "/records", "dr-house", sampleRecord("p1"), nil); code != http.StatusCreated {
-		t.Fatal("seed failed")
-	}
-	// Archivist-only.
-	if code := do(t, ts, "GET", "/retention/expired", "dr-house", nil, nil); code != http.StatusForbidden {
-		t.Errorf("physician expired = %d", code)
-	}
-	var out struct {
-		IDs   []string `json:"ids"`
-		Count int      `json:"count"`
-	}
-	if code := do(t, ts, "GET", "/retention/expired", "arch-lee", nil, &out); code != 200 || out.Count != 0 {
-		t.Errorf("expired at t0 = %d, %v", code, out)
-	}
-	vc.Advance(10 * 365 * 24 * time.Hour)
-	if code := do(t, ts, "GET", "/retention/expired", "arch-lee", nil, &out); code != 200 || out.Count != 1 {
-		t.Errorf("expired at 10y = %d, %v", code, out)
-	}
-
-	// Place a hold: disposal refused; release: disposal proceeds.
-	if code := do(t, ts, "PUT", "/records/p1/hold", "arch-lee", holdRequest{Reason: "litigation"}, nil); code != 200 {
-		t.Fatalf("place hold = %d", code)
-	}
-	var holds []map[string]any
-	if code := do(t, ts, "GET", "/retention/holds", "arch-lee", nil, &holds); code != 200 || len(holds) != 1 {
-		t.Errorf("holds = %d, %v", code, holds)
-	}
-	if code := do(t, ts, "DELETE", "/records/p1", "arch-lee", nil, nil); code == 200 {
-		t.Error("shred under hold accepted")
-	}
-	if code := do(t, ts, "DELETE", "/records/p1/hold", "arch-lee", nil, nil); code != 200 {
-		t.Fatal("release hold failed")
-	}
-	if code := do(t, ts, "DELETE", "/records/p1", "arch-lee", nil, nil); code != 200 {
-		t.Error("shred after release failed")
-	}
-	// Hold on a missing record.
-	if code := do(t, ts, "PUT", "/records/ghost/hold", "arch-lee", holdRequest{Reason: "x"}, nil); code != http.StatusNotFound {
-		t.Errorf("hold on ghost = %d", code)
-	}
-	// Hold without a reason.
-	if code := do(t, ts, "PUT", "/records/p1/hold", "arch-lee", holdRequest{}, nil); code != http.StatusBadRequest {
-		t.Errorf("reasonless hold = %d", code)
 	}
 }
 

@@ -1,0 +1,106 @@
+package httpapi
+
+// Regression tests for the 503 + Retry-After contract: a node that cannot
+// durably commit (wedged WAL) or is draining (closed vault) must answer 503
+// with a Retry-After header — on /healthz and on the rejected operations
+// themselves — so load balancers and clients back off instead of treating a
+// recoverable outage as a client error.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"medvault/internal/core"
+	"medvault/internal/ehr"
+)
+
+// wedgedAPI simulates a vault whose WAL wedged mid-flight: durable
+// mutations fail with an ErrWedged chain and Health reports the wedge.
+type wedgedAPI struct {
+	core.API
+}
+
+func (w wedgedAPI) PutCtx(ctx context.Context, actor string, rec ehr.Record) (core.Version, error) {
+	return core.Version{}, fmt.Errorf("core: logging %s v1: %w: fsync failed", rec.ID, core.ErrWedged)
+}
+
+func (w wedgedAPI) Health() core.HealthStatus {
+	h := w.API.Health()
+	h.WALWedged = true
+	h.WALWedgeError = "wal: syncing batch: fsync failed"
+	return h
+}
+
+func TestWedgedVaultRejectionsCarryRetryAfter(t *testing.T) {
+	ts, v := newRawServer(t)
+	ts.Close()
+	wedged := httptest.NewServer(New(wedgedAPI{API: v}))
+	defer wedged.Close()
+
+	// The rejected write: 503, Retry-After, error envelope.
+	req, _ := http.NewRequest("POST", wedged.URL+"/records", jsonBody(t, sampleRecord("p1")))
+	req.Header.Set(actorHeader, "dr-house")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wedged write = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != retryAfterSeconds {
+		t.Errorf("wedged write Retry-After = %q, want %q", ra, retryAfterSeconds)
+	}
+
+	// The health probe: same status, same header, honest state.
+	resp, err = http.Get(wedged.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("wedged healthz = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != retryAfterSeconds {
+		t.Errorf("wedged healthz Retry-After = %q, want %q", ra, retryAfterSeconds)
+	}
+}
+
+func TestClosedVaultAnswers503WithRetryAfter(t *testing.T) {
+	ts, v := newRawServer(t)
+	defer ts.Close()
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Operations on a draining/closed vault are 503, not 500: the request
+	// was fine, the node is going away.
+	req, _ := http.NewRequest("GET", ts.URL+"/records/p1", nil)
+	req.Header.Set(actorHeader, "dr-house")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed-vault read = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != retryAfterSeconds {
+		t.Errorf("closed-vault Retry-After = %q, want %q", ra, retryAfterSeconds)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("closed healthz = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != retryAfterSeconds {
+		t.Errorf("closed healthz Retry-After = %q, want %q", ra, retryAfterSeconds)
+	}
+}

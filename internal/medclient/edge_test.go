@@ -1,0 +1,168 @@
+package medclient_test
+
+// Edge and fuzz tests pinning the API's error envelope: whatever a client
+// throws at a JSON-accepting endpoint, the answer is a sane 4xx with an
+// {"error": "..."} body — never a 5xx, never a hang, never a non-JSON error.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"medvault/internal/medclient"
+)
+
+// decodeEnvelope reads and closes resp, asserting the error-envelope shape.
+func decodeEnvelope(t *testing.T, resp *http.Response) medclient.ErrorEnvelope {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env medclient.ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		t.Fatalf("error body is not the JSON envelope: %q (%v)", raw, err)
+	}
+	if env.Error == "" {
+		t.Fatalf("error envelope has empty message: %q", raw)
+	}
+	return env
+}
+
+func TestMalformedBodiesGet400WithEnvelope(t *testing.T) {
+	ts := newVaultServer(t)
+	ctx := context.Background()
+	c := medclient.New(ts.URL, medclient.WithActor("dr-house"))
+	arch := c.As("arch-lee")
+	for _, tc := range []struct {
+		client *medclient.Client
+		method string
+		path   string
+	}{
+		{c, "POST", "/records"},
+		{c, "POST", "/records/p1/corrections"},
+		{c, "POST", "/breakglass"},
+		{arch, "PUT", "/records/p1/hold"},
+	} {
+		for _, body := range []string{"{nope", `{"id": `, "\x00\x01\x02", `[]garbage`, `{"id":"x"} trailing`} {
+			resp, err := tc.client.Raw(ctx, tc.method, tc.path, "application/json", []byte(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				resp.Body.Close()
+				t.Errorf("%s %s with %q = %d, want 400", tc.method, tc.path, body, resp.StatusCode)
+				continue
+			}
+			decodeEnvelope(t, resp)
+		}
+	}
+}
+
+func TestOversizedBodyGets413WithEnvelope(t *testing.T) {
+	ts := newVaultServer(t)
+	huge := []byte(`{"id":"p1","body":"` + strings.Repeat("x", 1<<20+1024) + `"}`)
+	c := medclient.New(ts.URL, medclient.WithActor("dr-house"))
+	resp, err := c.Raw(context.Background(), "POST", "/records", "application/json", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		resp.Body.Close()
+		t.Fatalf("oversized = %d, want 413", resp.StatusCode)
+	}
+	env := decodeEnvelope(t, resp)
+	if !strings.Contains(env.Error, "exceeds") {
+		t.Errorf("413 envelope = %+v", env)
+	}
+}
+
+// TestUnknownRequestFieldsTolerated pins forward compatibility on the
+// server side: an older server must ignore fields a newer client sends,
+// not reject the request.
+func TestUnknownRequestFieldsTolerated(t *testing.T) {
+	ts := newVaultServer(t)
+	c := medclient.New(ts.URL, medclient.WithActor("dr-house"))
+	body := []byte(`{"id":"fwd-1","patient":"Pat","mrn":"mrn-9","category":"clinical",
+		"title":"t","body":"b","future_priority":"urgent","attachments":[{"kind":"x"}]}`)
+	resp, err := c.Raw(context.Background(), "POST", "/records", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create with unknown fields = %d, want 201", resp.StatusCode)
+	}
+	if rec, _, err := c.GetRecord(context.Background(), "fwd-1"); err != nil || rec.MRN != "mrn-9" {
+		t.Fatalf("read back = %+v, %v", rec, err)
+	}
+}
+
+// TestInvalidRecordDataGets400 pins the no-5xx contract for well-formed
+// JSON carrying invalid record data: a missing MRN or bogus category is the
+// client's mistake, not an internal error.
+func TestInvalidRecordDataGets400(t *testing.T) {
+	ts := newVaultServer(t)
+	ctx := context.Background()
+	c := medclient.New(ts.URL, medclient.WithActor("dr-house"))
+	for name, body := range map[string]string{
+		"missing mrn":      `{"id":"x1","patient":"P","category":"clinical","title":"t","body":"b"}`,
+		"missing id":       `{"patient":"P","mrn":"m","category":"clinical"}`,
+		"empty category":   `{"id":"x2","mrn":"m","patient":"P"}`,
+		"unknown category": `{"id":"x3","mrn":"m","patient":"P","category":"astrology"}`,
+	} {
+		resp, err := c.Raw(ctx, "POST", "/records", "application/json", []byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			resp.Body.Close()
+			t.Errorf("%s = %d, want 400", name, resp.StatusCode)
+			continue
+		}
+		decodeEnvelope(t, resp)
+	}
+}
+
+// FuzzCreateRecordEnvelope throws arbitrary bytes at POST /records and
+// asserts the error-surface contract: the status is always one of the
+// documented set (never a 5xx), and every non-2xx body is the JSON error
+// envelope. Run long with:
+//
+//	go test -fuzz FuzzCreateRecordEnvelope -run '^$' ./internal/medclient
+func FuzzCreateRecordEnvelope(f *testing.F) {
+	ts := newVaultServer(f)
+	c := medclient.New(ts.URL, medclient.WithActor("dr-house"))
+	f.Add([]byte(`{"id":"p1","mrn":"m","category":"clinical","patient":"P","title":"t","body":"b"}`))
+	f.Add([]byte(`{"id":"p1","category":"astrology"}`))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(""))
+	f.Add([]byte(`{"id":"` + strings.Repeat("A", 4096) + `","mrn":"m","category":"billing"}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		resp, err := c.Raw(context.Background(), "POST", "/records", "application/json", body)
+		if err != nil {
+			t.Skip() // transport hiccup, not a server verdict
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusCreated:
+			return
+		case http.StatusBadRequest, http.StatusForbidden, http.StatusConflict,
+			http.StatusGone, http.StatusRequestEntityTooLarge, http.StatusUnprocessableEntity:
+			raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env medclient.ErrorEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil || env.Error == "" {
+				t.Fatalf("status %d body is not the error envelope: %q", resp.StatusCode, raw)
+			}
+		default:
+			t.Fatalf("POST /records answered %d — outside the documented status set", resp.StatusCode)
+		}
+	})
+}

@@ -59,6 +59,12 @@ var (
 	ErrClosed = errors.New("wal: log closed")
 	// ErrCorrupt indicates an unreadable entry before the log tail.
 	ErrCorrupt = errors.New("wal: log corrupt")
+	// ErrWedged wraps the fatal write/fsync failure that wedged a log.
+	// Every append after the wedge fails with an error chain carrying both
+	// this sentinel and the original fault, so callers (and HTTP layers
+	// above them) can classify "the vault cannot durably commit" without
+	// string-matching the underlying disk error.
+	ErrWedged = errors.New("wal: wedged, refusing further appends")
 )
 
 // Entry is a recovered log entry.
@@ -234,7 +240,8 @@ func (l *Log) flushLoop() {
 			// loudest event a durable vault can emit short of crashing —
 			// every subsequent durable mutation will fail — so it is logged
 			// structurally as well as gauged.
-			l.wedged = err
+			l.wedged = fmt.Errorf("%w: %w", ErrWedged, err)
+			err = l.wedged
 			metWedged.Set(1)
 			slog.Error("wal wedged: write/fsync failed, refusing further appends",
 				"path", l.path, "err", err)

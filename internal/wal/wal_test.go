@@ -462,9 +462,13 @@ func TestWriteFailureWedgesLog(t *testing.T) {
 
 	if _, err := l.Append([]byte("doomed")); err == nil {
 		t.Fatal("Append after descriptor failure succeeded")
+	} else if !errors.Is(err, ErrWedged) {
+		t.Fatalf("wedging append error %v does not carry ErrWedged", err)
 	}
 	if _, err := l.Append([]byte("after-wedge")); err == nil {
 		t.Fatal("Append on wedged log succeeded")
+	} else if !errors.Is(err, ErrWedged) {
+		t.Fatalf("post-wedge append error %v does not carry ErrWedged", err)
 	} else if l.wedged == nil {
 		t.Fatal("log not marked wedged after write failure")
 	}
