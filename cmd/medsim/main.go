@@ -28,7 +28,8 @@ func main() {
 		ops     = flag.Int("ops", 500, "operations to generate")
 		workers = flag.Int("workers", 2, "logical writers to interleave")
 		shards  = flag.Int("shards", 0, "cluster shard count (0 = battery defaults / single vault)")
-		durable = flag.Bool("durable", true, "file-backed vault over the fault-injecting memory disk (false = memory backend)")
+		durable  = flag.Bool("durable", true, "file-backed vault over the fault-injecting memory disk (false = memory backend)")
+		failover = flag.Bool("failover", false, "durable mode: replicate to a warm follower and promote it at every crash step")
 		quick   = flag.Bool("quick", false, "run the fixed CI battery instead of a single seed")
 		replay  = flag.String("replay", "", "replay a recorded trace file instead of generating")
 		outPath = flag.String("trace", "", "write the run's trace here (failures always write medsim-failure-<seed>.trace)")
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 
-	runs := []sim.RunOpts{{Seed: *seed, Ops: *ops, Workers: *workers, Shards: *shards, Durable: *durable, Logf: logf}}
+	runs := []sim.RunOpts{{Seed: *seed, Ops: *ops, Workers: *workers, Shards: *shards, Durable: *durable, Failover: *failover, Logf: logf}}
 	if *quick {
 		runs = quickBattery(logf)
 		if *shards > 1 {
@@ -71,6 +72,9 @@ func main() {
 		backend := "memory"
 		if opts.Durable {
 			backend = "durable+faults"
+			if opts.Failover {
+				backend = "durable+failover"
+			}
 		}
 		t, d := sim.Run(opts)
 		if d == nil {
@@ -111,6 +115,13 @@ func quickBattery(logf func(string, ...any)) []sim.RunOpts {
 	runs = append(runs,
 		sim.RunOpts{Seed: 1, Ops: 220, Workers: 2, Shards: 4, Durable: true, Logf: logf},
 		sim.RunOpts{Seed: 2, Ops: 260, Workers: 2, Shards: 4, Logf: logf},
+	)
+	// Failover entries: the same seeds with the warm-follower twin armed, so
+	// every crash in the battery also exercises promotion — single vault and
+	// sharded.
+	runs = append(runs,
+		sim.RunOpts{Seed: 3, Ops: 220, Workers: 2, Durable: true, Failover: true, Logf: logf},
+		sim.RunOpts{Seed: 4, Ops: 220, Workers: 2, Shards: 4, Durable: true, Failover: true, Logf: logf},
 	)
 	return runs
 }

@@ -25,6 +25,21 @@
 // The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // are drained (bounded by a timeout), then the vault is closed so the WAL
 // is checkpointed and the final metadata snapshot is written.
+//
+// # Replication
+//
+// A warm-standby pair is two medvaultd processes:
+//
+//	medvaultd -dir /srv/replica -follow -repl-addr :8610 -addr :8601 -key HEX
+//	medvaultd -dir /srv/vault -replicate-to standby:8610 -key HEX
+//
+// The primary streams every committed filesystem write to the follower and
+// only acknowledges clients after the follower has the bytes a group-commit
+// fsync covers; a dead link degrades to local-only operation and the
+// anti-entropy timer resynchronizes on reconnect. The follower applies the
+// stream into -dir and serves only /healthz, /metrics, and POST /promote
+// until promoted; promotion fences the old primary's epoch, opens the
+// replica as a full vault, and swaps in the complete HTTP API.
 package main
 
 import (
@@ -38,11 +53,17 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"medvault/internal/core"
+	"medvault/internal/faultfs"
 	"medvault/internal/httpapi"
 	"medvault/internal/obs"
+	"medvault/internal/repl"
 	"medvault/internal/vaultcfg"
 )
 
@@ -59,6 +80,10 @@ func main() {
 		blockMB   = flag.Int("block-cache-mb", 0, "ciphertext block cache size in MiB (0 = default, -1 disables)")
 		negCache  = flag.Int("neg-cache", 0, "negative-lookup cache entries (0 = default, -1 disables)")
 		shards    = flag.Int("shards", 0, "shard count for a new vault directory (0 adopts the existing layout)")
+
+		replicateTo = flag.String("replicate-to", "", "stream every committed write to the follower's replication listener at this address")
+		follow      = flag.Bool("follow", false, "follower mode: apply a primary's stream into -dir; only /healthz, /metrics, POST /promote until promoted")
+		replAddr    = flag.String("repl-addr", ":8610", "follower mode: replication stream listen address")
 	)
 	flag.Parse()
 	// The MiB flag scales to bytes only for positive sizes; 0 (default) and
@@ -74,13 +99,24 @@ func main() {
 		NegCacheEntries: *negCache,
 		Shards:          *shards,
 	}
-	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey, *debugAddr, opt); err != nil {
+	if *follow {
+		if *replicateTo != "" {
+			fmt.Fprintln(os.Stderr, "medvaultd: -follow and -replicate-to are mutually exclusive")
+			os.Exit(1)
+		}
+		if err := runFollower(*dir, *key, *addr, *replAddr, *name, *tlsCert, *tlsKey, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "medvaultd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*dir, *key, *addr, *name, *tlsCert, *tlsKey, *debugAddr, *replicateTo, opt); err != nil {
 		fmt.Fprintln(os.Stderr, "medvaultd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string, opt vaultcfg.Options) error {
+func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr, replicateTo string, opt vaultcfg.Options) error {
 	if dir == "" {
 		return fmt.Errorf("-dir is required")
 	}
@@ -98,12 +134,48 @@ func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string, opt vau
 	if err != nil {
 		return err
 	}
+	var capture *repl.Capture
+	if replicateTo != "" {
+		// The follower must be reachable at startup — its handshake resyncs
+		// the replica to this directory before the first write ships. After
+		// that, a dead link degrades to local-only operation (writes keep
+		// committing) and the anti-entropy timer reconnects and resyncs.
+		dir = filepath.Clean(dir)
+		if err := os.MkdirAll(dir, 0o700); err != nil {
+			ln.Close()
+			return err
+		}
+		raw := faultfs.OS{}
+		sess, err := repl.DialTCP(replicateTo, raw, dir)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		capture, err = repl.NewCapture(raw, repl.Config{
+			Session: sess,
+			Root:    dir,
+			Raw:     raw,
+			Logf: func(format string, args ...any) {
+				logger.Warn("replication", "msg", fmt.Sprintf(format, args...))
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("replication handshake with %s: %w", replicateTo, err)
+		}
+		opt.FS = capture
+	}
 	v, err := vaultcfg.OpenWith(dir, name, master, opt)
 	if err != nil {
 		ln.Close()
 		return err
 	}
 	defer v.Close()
+	if capture != nil {
+		capture.StartAntiEntropy(v, 10*time.Second)
+		defer capture.Close()
+		logger.Info("replicating", "follower", replicateTo, "epoch", capture.Epoch())
+	}
 	h := v.Health()
 	logger.Info("vault opened",
 		"dir", dir,
@@ -191,6 +263,149 @@ func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr string, opt vau
 		}
 		logger.Info("drained; closing vault")
 		return nil // deferred v.Close checkpoints the WAL and snapshots
+	}
+}
+
+// handlerBox wraps an http.Handler so atomically swapping concrete handler
+// types through atomic.Value is legal.
+type handlerBox struct{ h http.Handler }
+
+// runFollower is the warm-standby process: a replication listener applies
+// the primary's stream into dir, while a minimal HTTP surface reports
+// health and accepts the promotion order. POST /promote fences the old
+// primary, opens the replica as a full vault (recovery replays the
+// replicated WAL tail), and swaps the complete API in on the same listener
+// — clients keep the same address across the failover.
+func runFollower(dir, key, addr, replAddr, name string, tlsCert, tlsKey string, opt vaultcfg.Options) error {
+	if dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if (tlsCert == "") != (tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	master, err := vaultcfg.ParseMasterKey(key)
+	if err != nil {
+		return err
+	}
+	dir = filepath.Clean(dir)
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	fol, err := repl.NewFollower(faultfs.OS{}, dir)
+	if err != nil {
+		return err
+	}
+	rln, err := net.Listen("tcp", replAddr)
+	if err != nil {
+		return fmt.Errorf("replication listener: %w", err)
+	}
+	go func() {
+		if err := repl.Serve(rln, fol, func(format string, args ...any) {
+			logger.Warn("replication", "msg", fmt.Sprintf(format, args...))
+		}); err != nil {
+			logger.Error("replication listener failed", "err", err.Error())
+		}
+	}()
+
+	var (
+		mu       sync.Mutex // serializes promotion
+		promoted *core.Cluster
+		handler  atomic.Value // handlerBox
+	)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"role\":\"follower\",\"epoch\":%d,\"applied_lsn\":%d}\n", fol.Epoch(), fol.AppliedLSN())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		defer mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if promoted != nil {
+			w.WriteHeader(http.StatusConflict)
+			fmt.Fprintln(w, "{\"error\":\"already promoted\"}")
+			return
+		}
+		epoch, err := fol.Promote()
+		if err != nil {
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		v, err := vaultcfg.OpenWith(dir, name, master, opt)
+		if err != nil {
+			logger.Error("promoted replica failed to open", "err", err.Error())
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+			return
+		}
+		// The replication listener stays up so a revived stale primary is
+		// fenced — and the attempt lands in the new primary's audit chain.
+		fol.SetFenceAuditor(func(detail string) {
+			if err := v.AuditReplicationFence(detail); err != nil {
+				logger.Error("auditing fence rejection", "err", err.Error())
+			}
+		})
+		handler.Store(handlerBox{httpapi.New(v, httpapi.WithLogger(logger))})
+		promoted = v
+		h := v.Health()
+		logger.Info("promoted", "epoch", epoch, "records", h.LiveRecords,
+			"recovery_ran", h.LastRecovery.Ran, "wal_entries_replayed", h.LastRecovery.WALEntries)
+		fmt.Fprintf(w, "{\"promoted\":true,\"epoch\":%d}\n", epoch)
+	})
+	handler.Store(handlerBox{mux})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		rln.Close()
+		return err
+	}
+	srv := &http.Server{
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler.Load().(handlerBox).h.ServeHTTP(w, r)
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("follower up", "dir", dir, "addr", addr, "repl_addr", replAddr, "epoch", fol.Epoch())
+		if tlsCert != "" {
+			errc <- srv.ServeTLS(ln, tlsCert, tlsKey)
+			return
+		}
+		errc <- srv.Serve(ln)
+	}()
+	select {
+	case err := <-errc:
+		rln.Close()
+		return err
+	case <-ctx.Done():
+		stop()
+		logger.Info("signal received, draining requests")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		rln.Close()
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if promoted != nil {
+			logger.Info("drained; closing promoted vault")
+			return promoted.Close()
+		}
+		return nil
 	}
 }
 

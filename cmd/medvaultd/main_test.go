@@ -8,14 +8,20 @@ import (
 )
 
 func TestRunValidation(t *testing.T) {
-	if err := run("", "x", ":0", "n", "", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "-dir") {
+	if err := run("", "x", ":0", "n", "", "", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "-dir") {
 		t.Errorf("missing dir: %v", err)
 	}
-	if err := run(t.TempDir(), "nothex", ":0", "n", "", "", "", vaultcfg.Options{}); err == nil {
+	if err := run(t.TempDir(), "nothex", ":0", "n", "", "", "", "", vaultcfg.Options{}); err == nil {
 		t.Errorf("bad key accepted")
 	}
-	if err := run(t.TempDir(), "x", ":0", "n", "cert-only", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "together") {
+	if err := run(t.TempDir(), "x", ":0", "n", "cert-only", "", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "together") {
 		t.Errorf("lopsided TLS flags: %v", err)
+	}
+	if err := runFollower("", "x", ":0", ":0", "n", "", "", vaultcfg.Options{}); err == nil || !strings.Contains(err.Error(), "-dir") {
+		t.Errorf("follower missing dir: %v", err)
+	}
+	if err := runFollower(t.TempDir(), "nothex", ":0", ":0", "n", "", "", vaultcfg.Options{}); err == nil {
+		t.Errorf("follower bad key accepted")
 	}
 }
 
@@ -26,7 +32,7 @@ func TestRunRefusesBadAddr(t *testing.T) {
 		t.Fatal(err)
 	}
 	// An unparseable listen address fails fast instead of serving.
-	if err := run(dir, hexKey, "not-an-addr", "n", "", "", "", vaultcfg.Options{}); err == nil {
+	if err := run(dir, hexKey, "not-an-addr", "n", "", "", "", "", vaultcfg.Options{}); err == nil {
 		t.Error("bad address accepted")
 	}
 }

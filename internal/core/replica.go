@@ -1,0 +1,244 @@
+package core
+
+// Replica-side metadata readers for WAL replication (internal/repl).
+//
+// A warm follower holds a byte-for-byte replica of a primary's vault
+// directory but has no master key, so it cannot open the vault to learn its
+// Merkle position. It can, however, compute it: the metadata snapshot
+// persists the commitment log's leaf hashes in the clear (they are hashes,
+// not PHI), and every WAL 'V' entry carries the fields the leaf commits to
+// — record ID, version number, ciphertext hash. ReplicaHeads re-derives the
+// per-shard (size, root) pair from those files alone, mirroring the replay
+// rules recovery applies (snapshot-covered WAL entries append no leaf, a
+// torn WAL tail is ignored). Anti-entropy compares these against the
+// primary's live tree to detect divergence without ever shipping a key.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+
+	"medvault/internal/audit"
+	"medvault/internal/faultfs"
+	"medvault/internal/merkle"
+	"medvault/internal/wal"
+)
+
+// ReplicaHead is one shard's Merkle position as computed from raw replica
+// files, without keys.
+type ReplicaHead struct {
+	Size uint64
+	Root merkle.Hash
+}
+
+// ReplicaHeads computes every shard's (size, root) directly from the
+// metadata files under dir — the snapshot's persisted leaf hashes plus the
+// leaves implied by WAL entries the snapshot does not cover. The shard count
+// is taken from the cluster manifest (1 when absent, matching OpenCluster).
+func ReplicaHeads(fsys faultfs.FS, dir string) ([]ReplicaHead, error) {
+	shards := 1
+	if data, err := fsys.ReadFile(filepath.Join(dir, clusterManifest)); err == nil {
+		n, perr := parseManifest(data)
+		if perr != nil {
+			return nil, fmt.Errorf("core: replica manifest: %w", perr)
+		}
+		shards = n
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("core: reading replica manifest: %w", err)
+	}
+	out := make([]ReplicaHead, shards)
+	for i := 0; i < shards; i++ {
+		d := dir
+		if shards > 1 {
+			d = filepath.Join(dir, "shard-"+strconv.Itoa(i))
+		}
+		h, err := replicaShardHead(fsys, d)
+		if err != nil {
+			return nil, fmt.Errorf("core: replica head of shard %d: %w", i, err)
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// replicaShardHead derives one shard directory's Merkle position.
+func replicaShardHead(fsys faultfs.FS, dir string) (ReplicaHead, error) {
+	var leaves []merkle.Hash
+	counts := make(map[string]uint64) // id -> highest version with a leaf
+	snap, err := fsys.ReadFile(filepath.Join(dir, "meta.snap"))
+	switch {
+	case err == nil:
+		if leaves, err = snapshotLeaves(snap, counts); err != nil {
+			return ReplicaHead{}, err
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		// fresh shard
+	default:
+		return ReplicaHead{}, fmt.Errorf("reading snapshot: %w", err)
+	}
+	walData, err := fsys.ReadFile(filepath.Join(dir, "meta.wal"))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return ReplicaHead{}, fmt.Errorf("reading WAL: %w", err)
+	}
+	var off int
+	for off < len(walData) {
+		e, n, ok := wal.DecodeFrame(walData[off:])
+		if !ok {
+			break // torn tail: ignored, exactly as recovery truncates it
+		}
+		off += n
+		lh, id, number, isVersion, err := versionEntryLeaf(e.Data)
+		if err != nil {
+			return ReplicaHead{}, fmt.Errorf("WAL entry at offset %d: %w", off-n, err)
+		}
+		if !isVersion || number <= counts[id] {
+			// Shred/hold entries append no leaf; neither does a version the
+			// snapshot already restored (WAL-replay idempotence).
+			continue
+		}
+		counts[id] = number
+		leaves = append(leaves, lh)
+	}
+	t := merkle.TreeFromLeafHashes(leaves)
+	return ReplicaHead{Size: t.Size(), Root: t.Root()}, nil
+}
+
+// snapshotLeaves extracts the persisted leaf hashes and per-record version
+// counts from a metadata snapshot, without keys.
+func snapshotLeaves(data []byte, counts map[string]uint64) ([]merkle.Hash, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil || string(magic) != snapMagic {
+		return nil, fmt.Errorf("snapshot has bad magic")
+	}
+	if ver, err := readU16(r); err != nil || ver != snapVersion {
+		return nil, fmt.Errorf("unsupported snapshot version")
+	}
+	if _, err := readU64(r); err != nil { // leafSeq
+		return nil, fmt.Errorf("truncated snapshot: %w", err)
+	}
+	nRecords, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("truncated snapshot: %w", err)
+	}
+	for i := uint32(0); i < nRecords; i++ {
+		id, err := readStr(r)
+		if err != nil {
+			return nil, fmt.Errorf("truncated snapshot: %w", err)
+		}
+		if _, err := readStr(r); err != nil { // category
+			return nil, fmt.Errorf("truncated snapshot: %w", err)
+		}
+		if _, err := readStr(r); err != nil { // mrn
+			return nil, fmt.Errorf("truncated snapshot: %w", err)
+		}
+		if _, err := r.ReadByte(); err != nil { // flags
+			return nil, fmt.Errorf("truncated snapshot: %w", err)
+		}
+		if _, err := readU64(r); err != nil { // createdNano
+			return nil, fmt.Errorf("truncated snapshot: %w", err)
+		}
+		nVersions, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("truncated snapshot: %w", err)
+		}
+		counts[id] = uint64(nVersions)
+		for j := uint32(0); j < nVersions; j++ {
+			if _, err := readStr(r); err != nil { // author
+				return nil, fmt.Errorf("truncated snapshot: %w", err)
+			}
+			// number u64 | segment u32 | offset u64 | ctHash 32 | ts u64 | leafIdx u64
+			skip := make([]byte, 8+4+8+32+8+8)
+			if _, err := io.ReadFull(r, skip); err != nil {
+				return nil, fmt.Errorf("truncated snapshot: %w", err)
+			}
+		}
+	}
+	if _, err := readBytesField(r); err != nil { // keystore snapshot
+		return nil, fmt.Errorf("truncated snapshot: %w", err)
+	}
+	leafBytes, err := readBytesField(r)
+	if err != nil {
+		return nil, fmt.Errorf("truncated snapshot: %w", err)
+	}
+	return merkle.DecodeHashes(leafBytes)
+}
+
+// versionEntryLeaf computes the Merkle leaf hash a WAL 'V' entry commits;
+// isVersion is false for the other (leaf-less) entry kinds.
+func versionEntryLeaf(data []byte) (lh merkle.Hash, id string, number uint64, isVersion bool, err error) {
+	if len(data) == 0 {
+		return lh, "", 0, false, fmt.Errorf("empty WAL entry")
+	}
+	switch data[0] {
+	case 'S', 'H', 'R':
+		return lh, "", 0, false, nil
+	case 'V':
+	default:
+		return lh, "", 0, false, fmt.Errorf("unknown WAL entry kind 0x%02x", data[0])
+	}
+	r := bytes.NewReader(data[1:])
+	if id, err = readStr(r); err != nil {
+		return lh, "", 0, false, fmt.Errorf("malformed WAL version entry: %w", err)
+	}
+	for i := 0; i < 3; i++ { // category, mrn, author
+		if _, err = readStr(r); err != nil {
+			return lh, "", 0, false, fmt.Errorf("malformed WAL version entry: %w", err)
+		}
+	}
+	if number, err = readU64(r); err != nil {
+		return lh, "", 0, false, fmt.Errorf("malformed WAL version entry: %w", err)
+	}
+	if _, err = readU32(r); err != nil { // ref segment
+		return lh, "", 0, false, fmt.Errorf("malformed WAL version entry: %w", err)
+	}
+	if _, err = readU64(r); err != nil { // ref offset
+		return lh, "", 0, false, fmt.Errorf("malformed WAL version entry: %w", err)
+	}
+	var ctHash [32]byte
+	if _, err = io.ReadFull(r, ctHash[:]); err != nil {
+		return lh, "", 0, false, fmt.Errorf("malformed WAL version entry: %w", err)
+	}
+	return merkle.LeafHash(leafData(id, number, ctHash)), id, number, true, nil
+}
+
+// MerkleRootAt returns the shard's commitment-log root at a historical size
+// — the primary-side half of anti-entropy: a follower reporting (size, root)
+// is consistent iff this root matches, i.e. the follower's log is a prefix.
+func (v *Vault) MerkleRootAt(size uint64) (merkle.Hash, error) {
+	return v.log.Tree().RootAt(size)
+}
+
+// MerkleRootAt returns shard's root at a historical size (see Vault).
+func (c *Cluster) MerkleRootAt(shard int, size uint64) (merkle.Hash, error) {
+	if shard < 0 || shard >= len(c.shards) {
+		return merkle.Hash{}, fmt.Errorf("core: no shard %d", shard)
+	}
+	return c.shards[shard].MerkleRootAt(size)
+}
+
+// AuditReplicationFence records a fenced-off replication write in the audit
+// chain: a demoted primary with a stale epoch tried to commit and was
+// rejected. The event is appended as the replication subsystem itself — the
+// rejection is a policy outcome, not a principal's action, and the detail
+// carries the epochs so the split-brain window is reconstructible from the
+// journal alone.
+func (v *Vault) AuditReplicationFence(detail string) error {
+	_, err := v.aud.Append(audit.Event{
+		Actor:   "replication",
+		Action:  audit.ActionPolicy,
+		Outcome: audit.OutcomeDenied,
+		Detail:  detail,
+	})
+	return err
+}
+
+// AuditReplicationFence records the fence rejection on shard 0 — the
+// cluster's canonical chain for store-level events.
+func (c *Cluster) AuditReplicationFence(detail string) error {
+	return c.shards[0].AuditReplicationFence(detail)
+}

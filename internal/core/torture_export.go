@@ -1,0 +1,43 @@
+package core
+
+// Exported handles on the crash-recovery torture harness. The failover
+// torture in internal/repl reuses the exact scripted workload, acked-state
+// oracle, and plaintext scan that torture.go runs against a single disk —
+// but points them at a promoted replica instead of a recovered crash image.
+// Exporting thin wrappers (rather than duplicating the script) keeps the two
+// harnesses answering the same question: "is everything the vault
+// acknowledged still there?"
+
+import (
+	"medvault/internal/clock"
+	"medvault/internal/faultfs"
+)
+
+// TortureOracle records acknowledged operations during a torture workload so
+// recovery — or a promoted follower — can be audited against them.
+type TortureOracle struct{ o *oracle }
+
+// NewTortureOracle returns an empty oracle.
+func NewTortureOracle() *TortureOracle { return &TortureOracle{o: newOracle()} }
+
+// OpenTortureVault opens (or reopens) the standard torture vault over fsys:
+// fixed master seed, virtual clock at the torture epoch, standard staff.
+func OpenTortureVault(fsys faultfs.FS, shards int) (*Cluster, *clock.Virtual, error) {
+	return openTorture(fsys, shards)
+}
+
+// RunTortureWorkload executes the scripted torture workload against v,
+// recording every acknowledgment in o. It returns the first error (the
+// injected fault surfacing); acks recorded before it are owed durability.
+func RunTortureWorkload(v *Cluster, vc *clock.Virtual, o *TortureOracle) error {
+	return runWorkload(v, vc, o.o)
+}
+
+// Check audits a recovered or promoted vault against the oracle: every acked
+// version readable with its exact body, acked shreds honored, acked holds in
+// force, and VerifyAll clean.
+func (t *TortureOracle) Check(v *Cluster) error { return t.o.check(v) }
+
+// ScanForPlaintext greps a disk image for the workload's sentinel plaintext;
+// any hit means a record body leaked to the medium.
+func ScanForPlaintext(img *faultfs.Mem) error { return scanForPlaintext(img) }

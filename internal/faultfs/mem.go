@@ -315,6 +315,27 @@ func (m *Mem) Dump() map[string][]byte {
 	return out
 }
 
+// Clone returns a deep copy of the filesystem with the page-cache and
+// durable layers preserved separately — unlike CrashImage, nothing is lost.
+// The failover simulator seeds a follower disk from a clone of the primary's
+// image so both sides start from identical media.
+func (m *Mem) Clone() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	img := NewMem()
+	for d := range m.dirs {
+		img.dirs[d] = true
+	}
+	for p, f := range m.files {
+		img.files[p] = &memFile{
+			data:    append([]byte(nil), f.data...),
+			durable: append([]byte(nil), f.durable...),
+			mode:    f.mode,
+		}
+	}
+	return img
+}
+
 // memHandle is an open handle on a memFile. The inode pointer is held
 // directly, so renames and removes of the name do not detach it.
 type memHandle struct {

@@ -1,0 +1,466 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"medvault/internal/core"
+	"medvault/internal/faultfs"
+	"medvault/internal/obs"
+)
+
+// Capture is the primary-side replication seam: a faultfs.FS that applies
+// every operation to the inner filesystem and, when the inner medium accepts
+// it, ships the identical op to the follower. Because only ops that
+// succeeded locally are shipped, the follower's directory is always a state
+// the primary's disk actually passed through, at an op boundary — which is
+// precisely the class of states the crash torture matrix proves recoverable.
+//
+// One mutex serializes every mutating op across the whole tree, holding it
+// over (apply + ship) as a unit. That is what makes the shipped op order
+// equal the applied op order when the vault's shards write concurrently; it
+// also gives anti-entropy a frozen tree to resync from. Reads bypass the
+// lock entirely.
+//
+// Two failure modes:
+//
+//   - Strict (the torture harness): the first ship failure latches the
+//     capture dead and every later op fails — a killed primary stays killed,
+//     so the workload aborts exactly at the kill point.
+//   - Degraded (medvaultd): a ship failure logs, marks the link down, and
+//     lets the op succeed locally; a background loop reconnects, and Hello's
+//     anti-entropy resyncs whatever the outage missed. A fence rejection is
+//     the exception — it always fails the op, never latches, and never
+//     degrades: a stale primary must not keep committing just because its
+//     link still works.
+type Capture struct {
+	inner faultfs.FS
+	raw   faultfs.FS // bypasses capture for repl.state (node identity)
+	root  string
+	sess  Session
+
+	strict bool
+	logf   func(string, ...any)
+
+	mu        sync.Mutex
+	dead      error
+	connected bool
+	epoch     uint64
+	sent      uint64
+	acked     uint64
+	files     map[*captureFile]struct{}
+
+	cluster   *core.Cluster
+	stopTimer chan struct{}
+}
+
+// Config configures a Capture.
+type Config struct {
+	// Session is the connection to the follower; NewCapture performs the
+	// Hello handshake (and any resync it decides on) before returning.
+	Session Session
+	// Root is the replicated directory; ops under it ship with relative
+	// paths, ops outside it apply locally only.
+	Root string
+	// Raw is the filesystem the epoch state file is read and written
+	// through, bypassing capture and fault injection; nil means inner.
+	Raw faultfs.FS
+	// Strict selects the torture failure mode (see type comment).
+	Strict bool
+	// Logf receives degraded-mode diagnostics; nil discards them.
+	Logf func(string, ...any)
+}
+
+var _ faultfs.FS = (*Capture)(nil)
+
+// NewCapture wraps inner, loads (or initializes) the primary's epoch, and
+// runs the handshake. A primary starts at epoch 1; a restarted primary keeps
+// its persisted epoch, so one demoted by a follower's promotion finds itself
+// fenced on reconnect rather than silently diverging.
+func NewCapture(inner faultfs.FS, cfg Config) (*Capture, error) {
+	c := &Capture{
+		inner:  inner,
+		raw:    cfg.Raw,
+		root:   cfg.Root,
+		sess:   cfg.Session,
+		strict: cfg.Strict,
+		logf:   cfg.Logf,
+		files:  make(map[*captureFile]struct{}),
+	}
+	if c.raw == nil {
+		c.raw = inner
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	epoch, err := readEpoch(c.raw, c.root, 0)
+	if err != nil {
+		return nil, err
+	}
+	if epoch == 0 {
+		epoch = 1
+		if err := writeEpoch(c.raw, c.root, epoch); err != nil {
+			return nil, err
+		}
+	}
+	c.epoch = epoch
+	if err := c.sess.Hello(c.epoch); err != nil {
+		return nil, err
+	}
+	c.connected = true
+	return c, nil
+}
+
+// Epoch returns the primary's replication epoch.
+func (c *Capture) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// Connected reports whether the replication link is up (degraded mode may
+// run with it down).
+func (c *Capture) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.connected
+}
+
+// StartAntiEntropy begins the timer-driven signed-head exchange against the
+// open cluster: every interval the primary sends its signed tree heads, the
+// follower verifies the signatures and answers with its computed heads, and
+// the primary checks the follower is a consistent prefix (same root at the
+// follower's size). Divergence — or a downed link — triggers a full resync
+// under the op freeze. Call after the vault is open; Close stops it.
+func (c *Capture) StartAntiEntropy(cluster *core.Cluster, interval time.Duration) {
+	c.mu.Lock()
+	c.cluster = cluster
+	if c.stopTimer != nil {
+		c.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	c.stopTimer = stop
+	c.mu.Unlock()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				if err := c.antiEntropyRound(); err != nil {
+					c.logf("repl: anti-entropy: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// antiEntropyRound runs one signed-heads exchange under the op freeze, with
+// a span recording the round and its outcome.
+func (c *Capture) antiEntropyRound() error {
+	ctx, tr := obs.DefaultTracer.Start(context.Background(), "repl.anti_entropy", obs.NewTraceID())
+	var rerr error
+	defer func() { obs.DefaultTracer.Finish(tr, rerr) }()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cluster == nil || c.dead != nil {
+		return nil
+	}
+	if !c.connected {
+		rerr = c.reconnectLocked(ctx)
+		return rerr
+	}
+	sths := c.cluster.Heads()
+	fheads, err := c.sess.Heads(c.epoch, c.cluster.PublicKey(), sths)
+	if err != nil {
+		rerr = c.shipFailureLocked(err)
+		return rerr
+	}
+	if c.prefixConsistentLocked(fheads, len(sths)) {
+		return nil
+	}
+	c.logf("repl: anti-entropy detected divergence, resyncing follower")
+	_, span := obs.StartSpan(ctx, "repl.resync")
+	rerr = c.sess.Resync(c.epoch)
+	span.End(rerr)
+	if rerr != nil {
+		rerr = c.shipFailureLocked(rerr)
+	}
+	return rerr
+}
+
+// prefixConsistentLocked reports whether the follower's heads describe a
+// prefix of each live shard tree: equal sizes need equal roots, a smaller
+// follower size needs the primary's historical root at that size to match.
+func (c *Capture) prefixConsistentLocked(fheads []Head, shards int) bool {
+	if len(fheads) != shards {
+		return false
+	}
+	for i, fh := range fheads {
+		root, err := c.cluster.MerkleRootAt(i, fh.Size)
+		if err != nil || root != fh.Root {
+			return false
+		}
+	}
+	return true
+}
+
+// reconnectLocked re-runs the handshake after an outage; Hello's
+// anti-entropy decides whether a resync is needed.
+func (c *Capture) reconnectLocked(ctx context.Context) error {
+	_, span := obs.StartSpan(ctx, "repl.reconnect")
+	err := c.sess.Hello(c.epoch)
+	span.End(err)
+	if err != nil {
+		return err
+	}
+	c.connected = true
+	c.logf("repl: follower link restored")
+	return nil
+}
+
+// Close stops the anti-entropy timer and closes the session.
+func (c *Capture) Close() error {
+	c.mu.Lock()
+	if c.stopTimer != nil {
+		close(c.stopTimer)
+		c.stopTimer = nil
+	}
+	c.mu.Unlock()
+	return c.sess.Close()
+}
+
+// rel maps an absolute-ish path to its replicated relative form; ok is
+// false for paths outside the root (never shipped).
+func (c *Capture) rel(p string) (string, bool) {
+	p = path.Clean(p)
+	if p == c.root {
+		return ".", true
+	}
+	if strings.HasPrefix(p, c.root+"/") {
+		return p[len(c.root)+1:], true
+	}
+	return "", false
+}
+
+// ship sends one op record, counting frames and honoring the failure mode.
+// Callers hold c.mu and have already applied the op to the inner fs.
+func (c *Capture) shipLocked(rec OpRecord) error {
+	if !c.connected {
+		return nil // degraded: the next anti-entropy round resyncs
+	}
+	c.sent++
+	mFramesSent.Inc()
+	mLagFrames.Set(float64(c.sent - c.acked))
+	lsn, err := c.sess.ShipOp(c.epoch, rec)
+	if err != nil {
+		return c.shipFailureLocked(err)
+	}
+	if rec.Kind == opSync {
+		// The commit barrier: an fsync the vault will treat as durable is
+		// not allowed to succeed until the follower holds everything up to
+		// and including it.
+		if err := c.sess.Barrier(lsn); err != nil {
+			return c.shipFailureLocked(err)
+		}
+	}
+	c.acked++
+	mFramesAcked.Inc()
+	mLagFrames.Set(float64(c.sent - c.acked))
+	return nil
+}
+
+// shipFailureLocked implements the failure modes. It returns the error the
+// fs op should surface (nil in degraded mode for non-fence failures).
+func (c *Capture) shipFailureLocked(err error) error {
+	if errors.Is(err, ErrFenced) {
+		// Never latch, never degrade: each attempt must be rejected (and
+		// audited on the follower) individually, and the op must fail so the
+		// stale primary's WAL wedges instead of committing.
+		c.logf("repl: write fenced: %v", err)
+		return err
+	}
+	if c.strict {
+		c.dead = err
+		return err
+	}
+	c.connected = false
+	c.logf("repl: follower link lost (continuing unreplicated): %v", err)
+	return nil
+}
+
+// mutate wraps a mutating fs op: freeze, check the latch, apply, ship.
+func (c *Capture) mutate(apply func() error, rec OpRecord, shipIt bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return c.dead
+	}
+	if err := apply(); err != nil {
+		return err
+	}
+	if !shipIt {
+		return nil
+	}
+	return c.shipLocked(rec)
+}
+
+// --- faultfs.FS ----------------------------------------------------------
+
+// OpenFile implements faultfs.FS. Opens that can change state ship to the
+// follower and return a handle whose writes and syncs ship too; read-only
+// opens pass straight through.
+func (c *Capture) OpenFile(name string, flag int, perm fs.FileMode) (faultfs.File, error) {
+	const mutating = osWronly | osRdwr | osCreate | osTrunc | osAppend
+	rel, under := c.rel(name)
+	if flag&mutating == 0 || !under {
+		return c.inner.OpenFile(name, flag, perm)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	h, err := c.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.shipLocked(OpRecord{Kind: opOpen, Path: rel, Flags: uint32(flag), Perm: uint32(perm)}); err != nil {
+		h.Close()
+		return nil, err
+	}
+	cf := &captureFile{c: c, inner: h, rel: rel}
+	c.files[cf] = struct{}{}
+	return cf, nil
+}
+
+// ReadFile implements faultfs.FS.
+func (c *Capture) ReadFile(name string) ([]byte, error) { return c.inner.ReadFile(name) }
+
+// WriteFile implements faultfs.FS.
+func (c *Capture) WriteFile(name string, data []byte, perm fs.FileMode) error {
+	rel, under := c.rel(name)
+	return c.mutate(func() error { return c.inner.WriteFile(name, data, perm) },
+		OpRecord{Kind: opWriteFile, Path: rel, Perm: uint32(perm), Data: data}, under)
+}
+
+// Rename implements faultfs.FS. Open handles on the old path keep shipping
+// under the new name — the WAL checkpoint renames its file and keeps
+// appending through the same handle, and the follower must see those
+// appends land on the renamed file.
+func (c *Capture) Rename(oldpath, newpath string) error {
+	relOld, underOld := c.rel(oldpath)
+	relNew, underNew := c.rel(newpath)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return c.dead
+	}
+	if err := c.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	for cf := range c.files {
+		switch {
+		case cf.rel == relOld:
+			cf.rel = relNew
+		case strings.HasPrefix(cf.rel, relOld+"/"):
+			cf.rel = relNew + cf.rel[len(relOld):]
+		}
+	}
+	if !underOld || !underNew {
+		return nil
+	}
+	return c.shipLocked(OpRecord{Kind: opRename, Path: relNew, Old: relOld})
+}
+
+// Remove implements faultfs.FS.
+func (c *Capture) Remove(name string) error {
+	rel, under := c.rel(name)
+	return c.mutate(func() error { return c.inner.Remove(name) },
+		OpRecord{Kind: opRemove, Path: rel}, under)
+}
+
+// RemoveAll implements faultfs.FS.
+func (c *Capture) RemoveAll(name string) error {
+	rel, under := c.rel(name)
+	return c.mutate(func() error { return c.inner.RemoveAll(name) },
+		OpRecord{Kind: opRemoveAll, Path: rel}, under)
+}
+
+// Truncate implements faultfs.FS.
+func (c *Capture) Truncate(name string, size int64) error {
+	rel, under := c.rel(name)
+	return c.mutate(func() error { return c.inner.Truncate(name, size) },
+		OpRecord{Kind: opTruncate, Path: rel, Size: uint64(size)}, under)
+}
+
+// MkdirAll implements faultfs.FS.
+func (c *Capture) MkdirAll(name string, perm fs.FileMode) error {
+	rel, under := c.rel(name)
+	return c.mutate(func() error { return c.inner.MkdirAll(name, perm) },
+		OpRecord{Kind: opMkdirAll, Path: rel, Perm: uint32(perm)}, under)
+}
+
+// ReadDir implements faultfs.FS.
+func (c *Capture) ReadDir(name string) ([]fs.DirEntry, error) { return c.inner.ReadDir(name) }
+
+// Stat implements faultfs.FS.
+func (c *Capture) Stat(name string) (fs.FileInfo, error) { return c.inner.Stat(name) }
+
+// captureFile ships a mutating handle's writes and syncs.
+type captureFile struct {
+	c     *Capture
+	inner faultfs.File
+	rel   string // current replicated path; rewritten by Rename
+}
+
+var _ faultfs.File = (*captureFile)(nil)
+
+func (h *captureFile) Write(p []byte) (int, error) {
+	c := h.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return 0, c.dead
+	}
+	n, err := h.inner.Write(p)
+	if err != nil {
+		return n, err
+	}
+	if err := c.shipLocked(OpRecord{Kind: opWrite, Path: h.rel, Data: p}); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (h *captureFile) ReadAt(p []byte, off int64) (int, error) { return h.inner.ReadAt(p, off) }
+
+func (h *captureFile) Sync() error {
+	c := h.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return c.dead
+	}
+	if err := h.inner.Sync(); err != nil {
+		return err
+	}
+	return c.shipLocked(OpRecord{Kind: opSync, Path: h.rel})
+}
+
+func (h *captureFile) Close() error {
+	c := h.c
+	c.mu.Lock()
+	delete(c.files, h)
+	c.mu.Unlock()
+	return h.inner.Close()
+}

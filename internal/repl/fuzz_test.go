@@ -1,0 +1,45 @@
+package repl
+
+import (
+	"math"
+	"testing"
+
+	"medvault/internal/faultfs"
+	"medvault/internal/wal"
+)
+
+// FuzzReplFrame throws arbitrary bytes at the follower's stream entry
+// point: the length framing, checksum, epoch header, and op codec must
+// reject whatever they reject without panicking — and whatever happens, the
+// follower must remain able to serve a fresh primary's handshake. A wedged
+// follower is the one failure mode replication cannot self-heal.
+func FuzzReplFrame(f *testing.F) {
+	f.Add(wal.AppendFrame(nil, 0, payload(1, frameHello, nil)))
+	f.Add(wal.AppendFrame(nil, 0, payload(1, frameOp,
+		encodeOp(OpRecord{Kind: opWrite, Path: "meta.wal", Data: []byte("x")}))))
+	f.Add(wal.AppendFrame(wal.AppendFrame(nil, 0, payload(1, frameHello, nil)), 1,
+		payload(1, frameOp, encodeOp(OpRecord{Kind: opMkdirAll, Path: "d", Perm: 0o700}))))
+	f.Add([]byte{})
+	f.Add([]byte("not a frame at all, just bytes pretending"))
+	f.Add(wal.AppendFrame(nil, 0, payload(math.MaxUint64, frameSnapEnd, make([]byte, 32))))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fol, err := NewFollower(faultfs.NewMem(), "r")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, consumed, _ := fol.FeedStream(data) // must not panic
+		if consumed > len(data) {
+			t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+		}
+		// Serviceability probe: a legitimate new primary (any epoch at or
+		// above whatever the stream tricked the follower into) must still
+		// get through a full handshake, resync included.
+		if e := fol.Epoch(); e < math.MaxUint64 {
+			fol.ResetConn()
+			if err := NewPipe(fol, faultfs.NewMem(), "r").Hello(e + 1); err != nil {
+				t.Fatalf("follower wedged after fuzzed stream: %v", err)
+			}
+		}
+	})
+}

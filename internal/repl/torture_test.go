@@ -1,0 +1,40 @@
+package repl
+
+import "testing"
+
+// TestFailoverTorture runs a strided slice of the kill-point matrix on
+// every `go test`: kill the primary at sampled fs-op and stream boundaries,
+// promote, and audit the promoted vault. CI runs the full matrix via
+// `medtorture -failover`.
+func TestFailoverTorture(t *testing.T) {
+	stride := 7
+	if testing.Short() {
+		stride = 23
+	}
+	rep, err := RunFailoverTorture(FailoverOpts{Stride: stride, Shards: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("failover torture harness: %v", err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if rep.FSKillPoints == 0 || rep.FrameKillPoints == 0 {
+		t.Fatalf("no kill points enumerated (fs=%d frames=%d)", rep.FSKillPoints, rep.FrameKillPoints)
+	}
+}
+
+// TestFailoverTortureSharded proves the failover path composes with
+// horizontal sharding: the capture sits below the shard router, so a
+// promoted follower must reassemble the entire cluster.
+func TestFailoverTortureSharded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded failover matrix skipped in -short")
+	}
+	rep, err := RunFailoverTorture(FailoverOpts{Stride: 19, Shards: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("failover torture harness: %v", err)
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("invariant violated: %s", f)
+	}
+}

@@ -1,0 +1,373 @@
+// Package repl streams a primary vault's durable writes to a warm follower
+// and proves the failover path with the same torture discipline the local
+// crash-recovery harness uses.
+//
+// The replication unit is the filesystem operation, not the WAL record: a
+// CaptureFS sits between the vault and its disk, and every mutating op that
+// succeeds on the primary's medium is shipped byte-for-byte to the follower,
+// which applies it into an identical directory tree. The follower therefore
+// holds, at every op boundary, exactly the state the primary's disk would
+// show after a power cut at that boundary — a state the crash torture matrix
+// has already proven recoverable. Promotion is nothing more exotic than
+// opening that directory: the vault's own recovery replays the WAL tail,
+// discards torn frames, and rebuilds derived state.
+//
+// Commit visibility is what makes "acked implies replicated" hold: the vault
+// acknowledges a write only after the WAL's group-commit fsync, and CaptureFS
+// treats every fsync as a replication barrier — the sync op does not succeed
+// until the follower has acknowledged applying it and everything before it.
+//
+// Epoch fencing keeps a demoted primary from committing after failover:
+// every frame carries the primary's epoch, the follower persists the highest
+// epoch it has accepted (repl.state), and Promote bumps it. A stale primary's
+// frames are rejected, the rejection is audited, and the rejected fsync
+// wedges its WAL.
+//
+// The wire format reuses the WAL's entry framing (seq | len | crc32c | data),
+// so a torn final frame on the stream is detected and discarded by the exact
+// validation path that truncates a torn WAL tail after a power cut.
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+
+	"medvault/internal/merkle"
+	"medvault/internal/obs"
+	"medvault/internal/vcrypto"
+)
+
+// Errors surfaced by the replication layer.
+var (
+	// ErrPrimaryKilled is returned by a torture pipe after its scripted kill
+	// point: the primary process is dead and no further ops will ship.
+	ErrPrimaryKilled = errors.New("repl: primary killed at stream boundary")
+	// ErrFenced indicates the follower rejected a frame because the sender's
+	// epoch is stale — a newer primary has been promoted.
+	ErrFenced = errors.New("repl: fenced by newer epoch")
+	// ErrBadFrame indicates a structurally invalid frame payload. The
+	// connection carrying it cannot be trusted and must be dropped, but the
+	// follower itself stays healthy and will accept the next connection.
+	ErrBadFrame = errors.New("repl: malformed frame")
+)
+
+// StateFile is the name of the epoch file at the vault/replica root. It is
+// local identity, not vault state: it is written outside the captured
+// filesystem, excluded from resync and from dir digests, and never shipped.
+const StateFile = "repl.state"
+
+// Frame payload kinds. Every payload is u64 epoch | u8 kind | body; the
+// outer framing (seq, length, checksum) is the WAL's, via internal/wal.
+const (
+	frameHello     uint8 = iota + 1 // primary → follower: handshake, epoch proposal
+	frameHelloAck                   // follower → primary: epoch, heads, dir digest
+	frameOp                         // primary → follower: one captured fs op
+	frameAck                        // follower → primary: op applied through LSN
+	frameHeads                      // primary → follower: signed tree heads (anti-entropy)
+	frameHeadsAck                   // follower → primary: follower's computed heads
+	frameSnapBegin                  // primary → follower: full resync starts, wipe replica
+	frameSnapFile                   // primary → follower: one file or dir of the snapshot
+	frameSnapEnd                    // primary → follower: snapshot done + expected digest
+	frameReject                     // follower → primary: frame refused (stale epoch, promoted)
+)
+
+// Captured filesystem op kinds — the mutating subset of faultfs.FS plus
+// handle writes and syncs.
+const (
+	opOpen uint8 = iota + 1
+	opWrite
+	opSync
+	opRename
+	opRemove
+	opRemoveAll
+	opTruncate
+	opMkdirAll
+	opWriteFile
+)
+
+// OpRecord is one captured filesystem operation. Path (and Old, for renames)
+// are relative to the replicated root on both sides.
+type OpRecord struct {
+	Kind  uint8
+	Path  string
+	Old   string // rename: previous path
+	Flags uint32 // open: os.OpenFile flags
+	Perm  uint32 // open/mkdirall/writefile: permission bits
+	Size  uint64 // truncate: new size
+	Data  []byte // write/writefile: payload
+}
+
+// Replication metrics, on the process-wide registry like every other layer.
+var (
+	mFramesSent = obs.Default.Counter("medvault_repl_frames_sent_total",
+		"Replication op frames shipped by the primary.")
+	mFramesAcked = obs.Default.Counter("medvault_repl_frames_acked_total",
+		"Replication op frames acknowledged by the follower.")
+	mFramesApplied = obs.Default.Counter("medvault_repl_frames_applied_total",
+		"Replication op frames applied by the follower.")
+	mLagFrames = obs.Default.Gauge("medvault_repl_lag_frames",
+		"Op frames shipped but not yet acknowledged.")
+	mResyncs = obs.Default.Counter("medvault_repl_resyncs_total",
+		"Full directory resyncs triggered by anti-entropy.")
+	mFenceRejections = obs.Default.Counter("medvault_repl_fence_rejections_total",
+		"Frames rejected because the sender's epoch was stale.")
+)
+
+// --- payload codec -------------------------------------------------------
+//
+// The vault core keeps its codec helpers unexported, so the wire format
+// carries its own: big-endian fixed ints, u32-length-prefixed strings and
+// byte fields, matching the WAL framing's endianness.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func appendStr(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// dec is a cursor over a payload; the first short read latches bad and every
+// later read returns zero values, so decoders can parse straight-line and
+// check once at the end.
+type dec struct {
+	b   []byte
+	bad bool
+}
+
+func (d *dec) u8() uint8 {
+	if d.bad || len(d.b) < 1 {
+		d.bad = true
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.bad || len(d.b) < 4 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.bad || len(d.b) < 8 {
+		d.bad = true
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := d.u32()
+	if d.bad || uint64(n) > uint64(len(d.b)) {
+		d.bad = true
+		return nil
+	}
+	v := append([]byte(nil), d.b[:n]...)
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+
+func (d *dec) hash() (h merkle.Hash) {
+	if d.bad || len(d.b) < len(h) {
+		d.bad = true
+		return h
+	}
+	copy(h[:], d.b)
+	d.b = d.b[len(h):]
+	return h
+}
+
+// ok reports a fully consumed, error-free payload.
+func (d *dec) ok() bool { return !d.bad && len(d.b) == 0 }
+
+// payload assembles epoch | kind | body.
+func payload(epoch uint64, kind uint8, body []byte) []byte {
+	out := make([]byte, 0, 9+len(body))
+	out = appendU64(out, epoch)
+	out = append(out, kind)
+	return append(out, body...)
+}
+
+// splitPayload separates the epoch header and kind from the body.
+func splitPayload(p []byte) (epoch uint64, kind uint8, body []byte, ok bool) {
+	if len(p) < 9 {
+		return 0, 0, nil, false
+	}
+	return binary.BigEndian.Uint64(p), p[8], p[9:], true
+}
+
+func encodeOp(rec OpRecord) []byte {
+	b := []byte{rec.Kind}
+	b = appendStr(b, rec.Path)
+	switch rec.Kind {
+	case opOpen:
+		b = appendU32(b, rec.Flags)
+		b = appendU32(b, rec.Perm)
+	case opWrite:
+		b = appendBytes(b, rec.Data)
+	case opRename:
+		b = appendStr(b, rec.Old)
+	case opTruncate:
+		b = appendU64(b, rec.Size)
+	case opMkdirAll:
+		b = appendU32(b, rec.Perm)
+	case opWriteFile:
+		b = appendU32(b, rec.Perm)
+		b = appendBytes(b, rec.Data)
+	}
+	return b
+}
+
+func decodeOp(body []byte) (OpRecord, bool) {
+	d := &dec{b: body}
+	rec := OpRecord{Kind: d.u8(), Path: d.str()}
+	switch rec.Kind {
+	case opOpen:
+		rec.Flags = d.u32()
+		rec.Perm = d.u32()
+	case opWrite:
+		rec.Data = d.bytes()
+	case opSync, opRemove, opRemoveAll:
+	case opRename:
+		rec.Old = d.str()
+	case opTruncate:
+		rec.Size = d.u64()
+	case opMkdirAll:
+		rec.Perm = d.u32()
+	case opWriteFile:
+		rec.Perm = d.u32()
+		rec.Data = d.bytes()
+	default:
+		return OpRecord{}, false
+	}
+	return rec, d.ok()
+}
+
+// Head is a (size, root) pair as exchanged on the wire; the follower's are
+// computed from raw replica files (core.ReplicaHeads), the primary's from
+// its live trees.
+type Head struct {
+	Size uint64
+	Root merkle.Hash
+}
+
+func appendHeads(b []byte, hs []Head) []byte {
+	b = appendU32(b, uint32(len(hs)))
+	for _, h := range hs {
+		b = appendU64(b, h.Size)
+		b = append(b, h.Root[:]...)
+	}
+	return b
+}
+
+func (d *dec) heads() []Head {
+	n := d.u32()
+	if d.bad || uint64(n) > uint64(len(d.b)) {
+		d.bad = true
+		return nil
+	}
+	hs := make([]Head, n)
+	for i := range hs {
+		hs[i] = Head{Size: d.u64(), Root: d.hash()}
+	}
+	return hs
+}
+
+// encodeHelloAck carries the follower's epoch, its computed heads, and its
+// dir digest — everything the primary needs for connect-time anti-entropy.
+func encodeHelloAck(epoch uint64, heads []Head, digest [32]byte) []byte {
+	b := appendU64(nil, epoch)
+	b = appendHeads(b, heads)
+	return append(b, digest[:]...)
+}
+
+func decodeHelloAck(body []byte) (epoch uint64, heads []Head, digest [32]byte, ok bool) {
+	d := &dec{b: body}
+	epoch = d.u64()
+	heads = d.heads()
+	h := d.hash()
+	copy(digest[:], h[:])
+	return epoch, heads, digest, d.ok()
+}
+
+// encodeHeadsReq carries the cluster public key and one signed tree head per
+// shard, so the follower can authenticate the primary before comparing.
+func encodeHeadsReq(pub vcrypto.PublicKey, sths []merkle.SignedTreeHead) []byte {
+	b := appendBytes(nil, pub)
+	b = appendU32(b, uint32(len(sths)))
+	for _, s := range sths {
+		b = appendU64(b, s.Size)
+		b = append(b, s.Root[:]...)
+		b = appendU64(b, uint64(s.Timestamp.UnixNano()))
+		b = appendBytes(b, s.Signature)
+	}
+	return b
+}
+
+func decodeHeadsReq(body []byte) (pub vcrypto.PublicKey, sths []merkle.SignedTreeHead, ok bool) {
+	d := &dec{b: body}
+	pub = vcrypto.PublicKey(d.bytes())
+	n := d.u32()
+	if d.bad || uint64(n) > uint64(len(d.b)) {
+		return nil, nil, false
+	}
+	sths = make([]merkle.SignedTreeHead, n)
+	for i := range sths {
+		sths[i].Size = d.u64()
+		sths[i].Root = d.hash()
+		sths[i].Timestamp = time.Unix(0, int64(d.u64())).UTC()
+		sths[i].Signature = d.bytes()
+	}
+	return pub, sths, d.ok()
+}
+
+func encodeSnapFile(isDir bool, rel string, data []byte) []byte {
+	var k byte
+	if isDir {
+		k = 1
+	}
+	b := []byte{k}
+	b = appendStr(b, rel)
+	return appendBytes(b, data)
+}
+
+func decodeSnapFile(body []byte) (isDir bool, rel string, data []byte, ok bool) {
+	d := &dec{b: body}
+	isDir = d.u8() == 1
+	rel = d.str()
+	data = d.bytes()
+	return isDir, rel, data, d.ok()
+}
+
+func encodeReject(epoch uint64, reason string) []byte {
+	return appendStr(appendU64(nil, epoch), reason)
+}
+
+func decodeReject(body []byte) (epoch uint64, reason string, ok bool) {
+	d := &dec{b: body}
+	epoch = d.u64()
+	reason = d.str()
+	return epoch, reason, d.ok()
+}

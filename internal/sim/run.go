@@ -16,6 +16,7 @@ import (
 	"medvault/internal/faultfs"
 	"medvault/internal/merkle"
 	"medvault/internal/provenance"
+	"medvault/internal/repl"
 	"medvault/internal/retention"
 	"medvault/internal/vcrypto"
 )
@@ -45,10 +46,11 @@ type RunOpts struct {
 	Seed    int64
 	Ops     int
 	Workers int  // logical writers the generator interleaves (min 1)
-	Shards  int  // cluster shard count; <= 1 runs the classic single vault
-	Durable bool // file-backed vault over faultfs.Mem, with crash/fault steps
-	Name    string
-	Logf    func(format string, args ...any) // nil = silent
+	Shards   int  // cluster shard count; <= 1 runs the classic single vault
+	Durable  bool // file-backed vault over faultfs.Mem, with crash/fault steps
+	Failover bool // durable mode: crash steps promote a warm follower instead
+	Name     string
+	Logf     func(format string, args ...any) // nil = silent
 }
 
 // Run generates a seeded op sequence and executes it against vault and model
@@ -67,7 +69,8 @@ func Run(opts RunOpts) (Trace, *Divergence) {
 	if shards <= 1 {
 		shards = 0
 	}
-	plan := Plan{Format: traceFormat, Seed: opts.Seed, Workers: opts.Workers, Shards: shards, Durable: opts.Durable, Name: opts.Name}
+	plan := Plan{Format: traceFormat, Seed: opts.Seed, Workers: opts.Workers, Shards: shards,
+		Durable: opts.Durable, Failover: opts.Failover && opts.Durable, Name: opts.Name}
 	t := Trace{Plan: plan}
 	e, err := newEngine(plan, opts.Logf)
 	if err != nil {
@@ -151,6 +154,11 @@ type engine struct {
 	inj    *schedInjector
 	v      *core.Cluster
 
+	// Failover mode: the capture streams every committed fs op to a warm
+	// follower whose replica disk takes over when the primary dies.
+	fmem *faultfs.Mem
+	fol  *repl.Follower
+
 	heads [][]merkle.SignedTreeHead // indexed by shard
 	cps   [][]audit.Checkpoint     // indexed by shard
 }
@@ -197,6 +205,28 @@ func (e *engine) open() error {
 		e.faulty = faultfs.NewFaulty(e.mem, e.inj.inject)
 		cfg.Dir = "vault"
 		cfg.FS = e.faulty
+		if e.plan.Failover {
+			// Vault → capture → faulty → mem: only ops the (possibly
+			// faulted) medium accepts are shipped, so the follower tracks
+			// exactly what the primary's disk committed. The handshake
+			// resyncs the fresh follower to the current disk image.
+			e.fmem = faultfs.NewMem()
+			fol, err := repl.NewFollower(e.fmem, "vault")
+			if err != nil {
+				return err
+			}
+			e.fol = fol
+			cap, err := repl.NewCapture(e.faulty, repl.Config{
+				Session: repl.NewPipe(fol, e.mem, "vault"),
+				Root:    "vault",
+				Raw:     e.mem,
+				Strict:  true,
+			})
+			if err != nil {
+				return err
+			}
+			cfg.FS = cap
+		}
 	}
 	v, err := core.OpenCluster(cfg, e.shards)
 	if err != nil {
@@ -720,7 +750,9 @@ func (e *engine) crash(i int, s Step) *Divergence {
 		e.inj.crashAt = e.faulty.MutatingOps() + s.N - 1
 		_ = e.v.Close()
 	}
-	e.mem = e.mem.CrashImage(faultfs.KeepNone)
+	if d := e.cut(i, s); d != nil {
+		return d
+	}
 	if d := e.reopenAndResync(i, s); d != nil {
 		return d
 	}
@@ -730,11 +762,31 @@ func (e *engine) crash(i int, s Step) *Divergence {
 	if err := e.v.Close(); err != nil {
 		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf("clean close: %v", err)}
 	}
-	e.mem = e.mem.CrashImage(faultfs.KeepNone)
+	if d := e.cut(i, s); d != nil {
+		return d
+	}
 	if d := e.reopenAndResync(i, s); d != nil {
 		return d
 	}
 	return e.deepCheck(i, s)
+}
+
+// cut kills the primary. In failover mode the warm follower is promoted and
+// its replica disk becomes the next generation's medium — a keep-everything
+// op-boundary image, since the follower applied exactly the ops the
+// primary's disk accepted; the model's prefix reconciliation then finds
+// nothing missing. Otherwise the power cut is simulated directly: a
+// keep-nothing crash image of the primary, losing every unsynced byte.
+func (e *engine) cut(i int, s Step) *Divergence {
+	if !e.plan.Failover {
+		e.mem = e.mem.CrashImage(faultfs.KeepNone)
+		return nil
+	}
+	if _, err := e.fol.Promote(); err != nil {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf("promoting follower: %v", err)}
+	}
+	e.mem = e.fmem
+	return nil
 }
 
 // reopenAndResync remounts after a power cut and reconciles the model with

@@ -84,7 +84,12 @@ type Plan struct {
 	Workers int    `json:"workers"`
 	Shards  int    `json:"shards,omitempty"` // cluster shard count; 0 or absent = single vault
 	Durable bool   `json:"durable"`
-	Name    string `json:"name,omitempty"` // vault system name; defaults to "medsim"
+	// Failover replicates the vault to a warm follower and turns every crash
+	// step into a failover: instead of recovering the primary's crash image,
+	// the follower is promoted and its replica becomes the next generation's
+	// disk. Durable mode only; absent in pre-failover traces.
+	Failover bool   `json:"failover,omitempty"`
+	Name     string `json:"name,omitempty"` // vault system name; defaults to "medsim"
 }
 
 // traceFormat is the current trace file format version.

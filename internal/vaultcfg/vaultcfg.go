@@ -24,6 +24,7 @@ import (
 
 	"medvault/internal/authz"
 	"medvault/internal/core"
+	"medvault/internal/faultfs"
 	"medvault/internal/vcrypto"
 )
 
@@ -69,6 +70,11 @@ type Options struct {
 	// directory), 1..core.MaxShards opens that many shards. The count is
 	// fixed at creation; reopening with a different value is an error.
 	Shards int
+
+	// FS overrides the filesystem the vault lives on; nil is the real OS
+	// filesystem. The server uses this to interpose the replication capture
+	// between the vault and its disk.
+	FS faultfs.FS
 }
 
 // CacheDisabled is the documented sentinel that disables a cache layer.
@@ -108,6 +114,7 @@ func OpenWith(dir, name string, master vcrypto.Key, opt Options) (*core.Cluster,
 		Name:                    name,
 		Master:                  master,
 		Dir:                     dir,
+		FS:                      opt.FS,
 		AuditCheckpointInterval: 1000,
 		DEKCacheEntries:         opt.DEKCacheEntries,
 		BlockCacheBytes:         opt.BlockCacheBytes,

@@ -1,0 +1,39 @@
+package wal
+
+// Frame codec exports. The replication stream (internal/repl) frames its
+// wire protocol with the exact encoding the WAL uses on disk — u64 seq |
+// u32 len | u32 crc32c | data — so a torn final frame on the stream is
+// detected and discarded by the same validation path that truncates a torn
+// WAL tail after a power cut. Exporting the codec (rather than copying it)
+// keeps that guarantee single-sourced.
+
+import "encoding/binary"
+
+// FrameOverhead is the fixed framing cost per entry, in bytes.
+const FrameOverhead = entryOverhead
+
+// AppendFrame encodes one framed entry onto buf and returns the extended
+// slice. The frame layout is the WAL's on-disk entry layout.
+func AppendFrame(buf []byte, seq uint64, data []byte) []byte {
+	return appendEntry(buf, seq, data)
+}
+
+// DecodeFrame parses one framed entry from the front of b, returning the
+// entry, the number of bytes consumed, and ok=false when b does not start
+// with a complete valid frame (torn tail / truncated stream read). The
+// returned Entry.Data is a copy, safe to retain.
+func DecodeFrame(b []byte) (Entry, int, bool) {
+	return decodeEntry(b)
+}
+
+// FrameSize reports the total encoded size of the frame whose header begins
+// b, so a stream reader knows how many bytes to collect before handing the
+// complete frame to DecodeFrame for validation. ok is false when b holds
+// less than a full header. The size is advisory only — a frame is valid only
+// if DecodeFrame accepts it.
+func FrameSize(b []byte) (int, bool) {
+	if len(b) < entryOverhead {
+		return 0, false
+	}
+	return entryOverhead + int(binary.BigEndian.Uint32(b[8:12])), true
+}
