@@ -1,0 +1,69 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"medvault/internal/faultfs"
+	"medvault/internal/obs"
+)
+
+// captureStdout runs fn with os.Stdout redirected into a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errFn := fn()
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if errFn != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", errFn, out)
+	}
+	return string(out)
+}
+
+// TestFlightSubcommandDecodesOffline is the offline black-box contract: after
+// a vault has done work and closed, 'medvault flight -dir DIR' (no key)
+// decodes the persisted segments and any postmortem bundles, and the output
+// carries hashed record IDs only — never the raw ID or record body.
+func TestFlightSubcommandDecodesOffline(t *testing.T) {
+	dir, key := setupVault(t)
+	base := []string{"-dir", dir, "-key", key}
+	put := append([]string{"put"}, base...)
+	put = append(put, "-actor", "dr-a", "-id", "flight/rec-1", "-mrn", "p9",
+		"-patient", "Grace H.", "-category", "clinical",
+		"-title", "Flight note", "-body", "black box body text")
+	if err := run(t, put...); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	if _, err := obs.WritePostmortem(faultfs.OS{}, dir, "test reason", obs.PostmortemConfig{}); err != nil {
+		t.Fatalf("writing bundle: %v", err)
+	}
+
+	out := captureStdout(t, func() error {
+		return dispatch("flight", []string{"-dir", dir, "-op", "put"})
+	})
+	if !strings.Contains(out, "flight events:") {
+		t.Fatalf("missing event header:\n%s", out)
+	}
+	if !strings.Contains(out, "record="+obs.HashRecordID("flight/rec-1")) {
+		t.Fatalf("missing hashed record ID for the put:\n%s", out)
+	}
+	for _, leak := range []string{"flight/rec-1", "black box body text", "Grace H."} {
+		if strings.Contains(out, leak) {
+			t.Fatalf("output leaks %q:\n%s", leak, out)
+		}
+	}
+	if !strings.Contains(out, "postmortem bundles: 1") || !strings.Contains(out, "test reason") {
+		t.Fatalf("missing bundle summary:\n%s", out)
+	}
+}

@@ -28,6 +28,11 @@
 //	medvault sanitize -dir DIR -key HEX -actor A
 //	medvault backup  -dir DIR -key HEX -actor A -backup-key HEX -out FILE
 //	medvault restore -dir DIR -key HEX -actor A -backup-key HEX -in FILE
+//	medvault flight  -dir DIR [-op SUB] [-trace ID] [-record HASH] [-limit N] [-bundles]
+//
+// flight is the offline black-box reader: it decodes the persisted flight
+// recorder segments and postmortem bundles from a (possibly crashed) data
+// directory without opening the vault and without the master key.
 package main
 
 import (
@@ -58,7 +63,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: medvault <init|grant|put|get|history|correct|search|shred|expired|audit|custody|verify|disclosures|prove|hold|release|holds|breakglass|sanitize|backup|restore> [flags]
+	fmt.Fprintln(os.Stderr, `usage: medvault <init|grant|put|get|history|correct|search|shred|expired|audit|custody|verify|disclosures|prove|hold|release|holds|breakglass|sanitize|backup|restore|flight> [flags]
 run 'medvault <command> -h' for command flags`)
 }
 
@@ -135,6 +140,8 @@ func dispatch(cmd string, args []string) error {
 		return cmdBackup(args)
 	case "restore":
 		return cmdRestore(args)
+	case "flight":
+		return cmdFlight(args)
 	default:
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)

@@ -11,12 +11,21 @@
 // encryption on "the data pathways leading to and out", not just at rest.
 // GET /metrics exposes Prometheus-format counters and latency histograms
 // for every vault mechanism (core ops, HTTP routes, WAL fsync, blockstore
-// I/O, crypto, index, audit), and GET /debug/traces serves per-request
-// span traces. See internal/httpapi for the route list.
+// I/O, crypto, index, audit), GET /debug/traces serves per-request span
+// traces, and GET /debug/flight serves the in-memory flight-recorder ring.
+// See internal/httpapi for the route list.
 //
 // -debug-addr starts a second listener (bind it to loopback) carrying
-// net/http/pprof plus /debug/traces, so profiling and trace inspection
-// survive even when the main listener is saturated or firewalled.
+// net/http/pprof plus /debug/traces and /debug/flight, so profiling and
+// trace inspection survive even when the main listener is saturated or
+// firewalled.
+//
+// An anomaly watchdog ticks in the background: active findings appear as
+// degraded detail on /healthz and as medvault_watchdog_anomalies_total.
+// On a request-handler panic, a WAL wedge, or SIGQUIT the daemon writes a
+// crash-atomic postmortem bundle (flight tail, goroutine stacks, metrics,
+// slow traces) under DIR/postmortem/; 'medvault flight -dir DIR' decodes
+// bundles and persisted flight segments offline.
 //
 // The server logs structured lines (log/slog, JSON to stderr): startup and
 // recovery summary, one line per request with route/status/duration/trace
@@ -176,6 +185,12 @@ func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr, replicateTo st
 		defer capture.Close()
 		logger.Info("replicating", "follower", replicateTo, "epoch", capture.Epoch())
 	}
+	registerBuildInfo(v.NumShards())
+	pm := &postmortems{dir: dir, log: logger}
+	wd, stopWd := startWatchdog(pm, logger)
+	defer stopWd()
+	notifySIGQUIT(pm, logger)
+
 	h := v.Health()
 	logger.Info("vault opened",
 		"dir", dir,
@@ -202,7 +217,8 @@ func run(dir, key, addr, name string, tlsCert, tlsKey, debugAddr, replicateTo st
 	// forever. Export streams are the largest responses; WriteTimeout is
 	// sized for them.
 	srv := &http.Server{
-		Handler:           httpapi.New(v, httpapi.WithLogger(logger)),
+		Handler: httpapi.New(v, httpapi.WithLogger(logger),
+			httpapi.WithWatchdog(wd), httpapi.WithPanicHook(pm.write)),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -297,6 +313,11 @@ func runFollower(dir, key, addr, replAddr, name string, tlsCert, tlsKey string, 
 	if err != nil {
 		return fmt.Errorf("replication listener: %w", err)
 	}
+	registerBuildInfo(opt.Shards)
+	pm := &postmortems{dir: dir, log: logger}
+	wd, stopWd := startWatchdog(pm, logger)
+	defer stopWd()
+	notifySIGQUIT(pm, logger)
 	go func() {
 		if err := repl.Serve(rln, fol, func(format string, args ...any) {
 			logger.Warn("replication", "msg", fmt.Sprintf(format, args...))
@@ -319,6 +340,10 @@ func runFollower(dir, key, addr, replAddr, name string, tlsCert, tlsKey string, 
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = obs.Default.WritePrometheus(w)
 	})
+	// The follower's flight ring records replicated-apply events carrying the
+	// primary's trace IDs; serving it pre-promotion lets an operator join a
+	// primary write to its standby apply without shelling into the box.
+	mux.Handle("GET /debug/flight", httpapi.FlightHandler(obs.DefaultFlight))
 	mux.HandleFunc("POST /promote", func(w http.ResponseWriter, r *http.Request) {
 		mu.Lock()
 		defer mu.Unlock()
@@ -348,7 +373,8 @@ func runFollower(dir, key, addr, replAddr, name string, tlsCert, tlsKey string, 
 				logger.Error("auditing fence rejection", "err", err.Error())
 			}
 		})
-		handler.Store(handlerBox{httpapi.New(v, httpapi.WithLogger(logger))})
+		handler.Store(handlerBox{httpapi.New(v, httpapi.WithLogger(logger),
+			httpapi.WithWatchdog(wd), httpapi.WithPanicHook(pm.write))})
 		promoted = v
 		h := v.Health()
 		logger.Info("promoted", "epoch", epoch, "records", h.LiveRecords,
@@ -421,5 +447,6 @@ func debugMux() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/traces", httpapi.TraceHandler(obs.DefaultTracer))
+	mux.Handle("/debug/flight", httpapi.FlightHandler(obs.DefaultFlight))
 	return mux
 }

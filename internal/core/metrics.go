@@ -22,20 +22,42 @@ var (
 		"Vault operations currently executing in this process.")
 )
 
+// TraceShipper is implemented by filesystems that forward observability
+// markers to a replication peer. A replicating primary's capture FS ships
+// the originating trace ID alongside the op's own frames, so a write on the
+// primary is joinable to its apply event in the follower's flight recorder.
+type TraceShipper interface {
+	ShipTrace(trace, op, recordHash string)
+}
+
+// mutatingOps name the operations whose trace IDs are worth shipping to a
+// follower: the ones that produce apply events there.
+var mutatingOps = map[string]bool{"put": true, "correct": true, "shred": true}
+
 // observeOp is deferred at the top of each vault operation:
 //
-//	defer v.observeOp("put", time.Now())(&err)
+//	defer v.observeOp(ctx, "put", rec.ID, time.Now())(&err)
 //
-// The outer call captures the start time and raises the in-flight gauge; the
-// returned func reads the named error at return time and records one latency
-// observation and one outcome-labeled count. Shards of a multi-shard Cluster
-// add a shard label so /metrics breaks the top line down per shard; a
-// standalone vault (and a one-shard cluster) keeps the exact label set it
-// always had.
-func (v *Vault) observeOp(op string, start time.Time) func(*error) {
+// The outer call captures the start time, raises the in-flight gauge, and
+// registers the op with the watchdog's in-flight tracker. The returned func
+// reads the named error at return time and records one latency observation,
+// one outcome-labeled count, and one flight-recorder event (hashed record
+// ID, trace ID, outcome, latency — never plaintext). Shards of a
+// multi-shard Cluster add a shard label so /metrics breaks the top line
+// down per shard; a standalone vault (and a one-shard cluster) keeps the
+// exact label set it always had.
+//
+// Ordering matters for the crash invariant: the closure runs after the
+// operation has fully returned, i.e. after any WAL group-commit fsync for
+// an acked write. A flight event persisted by the (unsynced) sink therefore
+// implies its WAL entry was already durable, so the persisted flight tail
+// can never claim an op the recovered vault does not have.
+func (v *Vault) observeOp(ctx context.Context, op, id string, start time.Time) func(*error) {
 	metInflightOps.Add(1)
+	slot := obs.ActiveOps.Begin()
 	return func(errp *error) {
 		metInflightOps.Add(-1)
+		obs.ActiveOps.End(slot)
 		outcome := outcomeLabel(*errp)
 		labels := []obs.Label{obs.L("op", op), obs.L("outcome", outcome)}
 		if v.shard != "" {
@@ -46,6 +68,23 @@ func (v *Vault) observeOp(op string, start time.Time) func(*error) {
 		obs.Default.Histogram("medvault_core_op_seconds",
 			"Vault operation latency.", obs.LatencyBuckets,
 			labels...).ObserveSince(start)
+
+		ev := v.flight.Record(obs.FlightEvent{
+			Kind:    op,
+			Record:  obs.HashRecordID(id),
+			Trace:   obs.TraceID(ctx),
+			Outcome: outcome,
+			Dur:     time.Since(start),
+			Shard:   v.shard,
+		})
+		if v.fsink != nil {
+			v.fsink.Append(ev)
+		}
+		if outcome == "ok" && ev.Trace != "" && mutatingOps[op] {
+			if ts, ok := v.fs.(TraceShipper); ok {
+				ts.ShipTrace(ev.Trace, op, ev.Record)
+			}
+		}
 	}
 }
 

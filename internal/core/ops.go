@@ -173,7 +173,7 @@ func (v *Vault) Put(actor string, rec ehr.Record) (Version, error) {
 // blockstore, WAL, Merkle, index, audit — records its span under a
 // "core.put" parent.
 func (v *Vault) PutCtx(ctx context.Context, actor string, rec ehr.Record) (_ Version, err error) {
-	defer v.observeOp("put", time.Now())(&err)
+	defer v.observeOp(ctx, "put", rec.ID, time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.put")
 	defer func() { sp.End(err) }()
 	if err := rec.Validate(); err != nil {
@@ -285,7 +285,7 @@ func (v *Vault) Get(actor, id string) (ehr.Record, Version, error) {
 
 // GetCtx is Get under a caller-supplied context (see PutCtx).
 func (v *Vault) GetCtx(ctx context.Context, actor, id string) (_ ehr.Record, _ Version, err error) {
-	defer v.observeOp("get", time.Now())(&err)
+	defer v.observeOp(ctx, "get", id, time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.get")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
@@ -315,7 +315,7 @@ func (v *Vault) GetVersion(actor, id string, number uint64) (ehr.Record, Version
 
 // GetVersionCtx is GetVersion under a caller-supplied context.
 func (v *Vault) GetVersionCtx(ctx context.Context, actor, id string, number uint64) (_ ehr.Record, _ Version, err error) {
-	defer v.observeOp("get_version", time.Now())(&err)
+	defer v.observeOp(ctx, "get_version", id, time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.get_version")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
@@ -349,7 +349,7 @@ func (v *Vault) History(actor, id string) ([]Version, error) {
 
 // HistoryCtx is History under a caller-supplied context.
 func (v *Vault) HistoryCtx(ctx context.Context, actor, id string) (_ []Version, err error) {
-	defer v.observeOp("history", time.Now())(&err)
+	defer v.observeOp(ctx, "history", id, time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.history")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
@@ -380,7 +380,7 @@ func (v *Vault) Correct(actor string, rec ehr.Record) (Version, error) {
 
 // CorrectCtx is Correct under a caller-supplied context.
 func (v *Vault) CorrectCtx(ctx context.Context, actor string, rec ehr.Record) (_ Version, err error) {
-	defer v.observeOp("correct", time.Now())(&err)
+	defer v.observeOp(ctx, "correct", rec.ID, time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.correct")
 	defer func() { sp.End(err) }()
 	if err := rec.Validate(); err != nil {
@@ -487,7 +487,7 @@ func (v *Vault) Search(actor, keyword string) ([]string, error) {
 
 // SearchCtx is Search under a caller-supplied context.
 func (v *Vault) SearchCtx(ctx context.Context, actor, keyword string) (_ []string, err error) {
-	defer v.observeOp("search", time.Now())(&err)
+	defer v.observeOp(ctx, "search", "", time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.search")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
@@ -509,7 +509,7 @@ func (v *Vault) SearchAll(actor string, keywords ...string) ([]string, error) {
 
 // SearchAllCtx is SearchAll under a caller-supplied context.
 func (v *Vault) SearchAllCtx(ctx context.Context, actor string, keywords ...string) (_ []string, err error) {
-	defer v.observeOp("search", time.Now())(&err)
+	defer v.observeOp(ctx, "search", "", time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.search")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {
@@ -534,7 +534,7 @@ func (v *Vault) Shred(actor, id string) error {
 
 // ShredCtx is Shred under a caller-supplied context.
 func (v *Vault) ShredCtx(ctx context.Context, actor, id string) (err error) {
-	defer v.observeOp("shred", time.Now())(&err)
+	defer v.observeOp(ctx, "shred", id, time.Now())(&err)
 	ctx, sp := v.span(ctx, "core.shred")
 	defer func() { sp.End(err) }()
 	if err := v.gate.begin(); err != nil {

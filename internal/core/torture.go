@@ -47,6 +47,7 @@ import (
 	"medvault/internal/clock"
 	"medvault/internal/ehr"
 	"medvault/internal/faultfs"
+	"medvault/internal/obs"
 	"medvault/internal/vcrypto"
 )
 
@@ -309,10 +310,104 @@ func scanForPlaintext(img *faultfs.Mem) error {
 	return nil
 }
 
+// tortureIDs are the record IDs the scripted workload touches; the flight
+// invariant maps their hashes back to IDs to compare against recovery.
+var tortureIDs = []string{"rec-0", "rec-1", "rec-2", "rec-3", "rec-4"}
+
+// flightTail is the decoded, persisted flight-recorder evidence found on a
+// crash image: per workload record, how many successful mutations (put or
+// correct) the tail claims were acknowledged, and whether it records an
+// acknowledged shred.
+type flightTail struct {
+	okMutations map[string]int  // record ID -> acked put/correct events persisted
+	shredOK     map[string]bool // record ID -> acked shred event persisted
+}
+
+// decodeFlightTail reads every flight directory the cluster layout can
+// produce from the raw crash image — before recovery reopens the vault and
+// starts a fresh segment — and audits the events themselves: the torn-tail
+// rule must make them decodable, and no field may carry record plaintext.
+func decodeFlightTail(img *faultfs.Mem, shards int) (flightTail, error) {
+	ft := flightTail{okMutations: make(map[string]int), shredOK: make(map[string]bool)}
+	hashToID := make(map[string]string, len(tortureIDs))
+	for _, id := range tortureIDs {
+		hashToID[obs.HashRecordID(id)] = id
+	}
+	dirs := []string{"vault/flight"}
+	for i := 0; i < shards; i++ {
+		dirs = append(dirs, fmt.Sprintf("vault/shard-%d/flight", i))
+	}
+	for _, d := range dirs {
+		evs, err := obs.ReadFlightDir(img, d)
+		if err != nil {
+			return ft, fmt.Errorf("persisted flight tail in %s unreadable: %w", d, err)
+		}
+		for _, ev := range evs {
+			for _, s := range []string{ev.Kind, ev.Record, ev.Trace, ev.Outcome, ev.Shard, ev.Detail} {
+				if strings.Contains(s, sentinelPrefix) {
+					return ft, fmt.Errorf("plaintext sentinel in persisted flight event in %s", d)
+				}
+			}
+			if ev.Outcome != "ok" {
+				continue
+			}
+			id, known := hashToID[ev.Record]
+			if !known {
+				continue
+			}
+			switch ev.Kind {
+			case "put", "correct":
+				ft.okMutations[id]++
+			case "shred":
+				ft.shredOK[id] = true
+			}
+		}
+	}
+	return ft, nil
+}
+
+// check compares the persisted flight evidence against the recovered vault.
+// The flight sink never fsyncs, but it appends an acked-op event only after
+// the op's own WAL fsync returned — so under the prefix crash model every
+// persisted event describes an op whose WAL entry was already durable, and
+// the tail must be a subset of what recovery rebuilds.
+func (ft flightTail) check(v *Cluster) error {
+	for id, n := range ft.okMutations {
+		if ft.shredOK[id] {
+			continue
+		}
+		got, err := v.VersionCount(id)
+		if err != nil {
+			// A shred whose own flight event did not persist may still have
+			// been acked; the record landing shredded is consistent.
+			if errors.Is(err, ErrShredded) {
+				continue
+			}
+			return fmt.Errorf("flight tail claims %d acked mutations of %s but recovery lost it: %w", n, id, err)
+		}
+		if got < n {
+			return fmt.Errorf("flight tail claims %d acked mutations of %s, recovered vault has %d versions", n, id, got)
+		}
+	}
+	for id := range ft.shredOK {
+		if _, _, err := v.Get("dr-house", id); !errors.Is(err, ErrShredded) {
+			return fmt.Errorf("flight tail records acked shred of %s but recovered record is not shredded: err=%v", id, err)
+		}
+	}
+	return nil
+}
+
 // recoverAndCheck mounts the crash image, recovers, audits against the
-// oracle, then closes and recovers a second time to prove recovery is
-// idempotent. Finally it scans the medium for plaintext.
+// oracle and against the persisted flight tail, then closes and recovers a
+// second time to prove recovery is idempotent. Finally it scans the medium
+// for plaintext.
 func recoverAndCheck(img *faultfs.Mem, o *oracle, shards int) error {
+	// Decode the flight tail from the raw image first: the recovery open
+	// below starts a fresh segment in the same directories.
+	ft, err := decodeFlightTail(img, shards)
+	if err != nil {
+		return err
+	}
 	for pass := 1; pass <= 2; pass++ {
 		v, _, err := openTorture(img, shards)
 		if err != nil {
@@ -321,6 +416,10 @@ func recoverAndCheck(img *faultfs.Mem, o *oracle, shards int) error {
 		if err := o.check(v); err != nil {
 			v.Close()
 			return fmt.Errorf("recovery pass %d: %w", pass, err)
+		}
+		if err := ft.check(v); err != nil {
+			v.Close()
+			return fmt.Errorf("recovery pass %d flight invariant: %w", pass, err)
 		}
 		if err := v.Close(); err != nil {
 			return fmt.Errorf("recovery pass %d close: %w", pass, err)

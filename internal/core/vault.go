@@ -39,6 +39,7 @@ import (
 	"medvault/internal/faultfs"
 	"medvault/internal/index"
 	"medvault/internal/merkle"
+	"medvault/internal/obs"
 	"medvault/internal/provenance"
 	"medvault/internal/retention"
 	"medvault/internal/vcrypto"
@@ -118,6 +119,11 @@ type Config struct {
 	// events (0 disables automatic checkpoints).
 	AuditCheckpointInterval int
 
+	// Flight is the in-memory flight recorder operations report to; nil
+	// selects the process-wide obs.DefaultFlight. Durable vaults also
+	// checkpoint the ring into crash-decodable segments under Dir/flight.
+	Flight *obs.Flight
+
 	// Read-path cache sizing. For each knob, zero selects the default and a
 	// negative value disables that cache layer. See DESIGN.md "Read-path
 	// caching" for the layers and their invalidation rules.
@@ -174,6 +180,9 @@ type Vault struct {
 	recovery RecoveryInfo // what the last Open rebuilt (durable vaults)
 	shard    string       // shard index label when part of a >1-shard Cluster
 
+	flight *obs.Flight     // in-memory ring ops report to (never nil)
+	fsink  *obs.FlightSink // durable segment sink under dir/flight; may be nil
+
 	// auditStore and provStore are retained so Close can release their
 	// file handles (the audit and provenance logs do not own closing them).
 	auditStore, provStore blockstore.Store
@@ -215,6 +224,10 @@ func Open(cfg Config) (*Vault, error) {
 		fs:          fsys,
 		masterFP:    cfg.Master.Fingerprint(),
 		shard:       cfg.shardTag,
+		flight:      cfg.Flight,
+	}
+	if v.flight == nil {
+		v.flight = obs.DefaultFlight
 	}
 
 	pols := cfg.Policies
@@ -278,6 +291,13 @@ func Open(cfg Config) (*Vault, error) {
 	if cfg.Dir != "" {
 		if err := v.recover(cfg.Master); err != nil {
 			return nil, err
+		}
+		// The flight sink is best-effort by design: a vault that cannot
+		// persist observability events still serves records. Segments go
+		// through v.fs — the same seam the vault's own data uses — so the
+		// torture harness sees them and a replicating primary ships them.
+		if sink, err := obs.OpenFlightSink(fsys, filepath.Join(cfg.Dir, "flight")); err == nil {
+			v.fsink = sink
 		}
 	}
 	return v, nil
@@ -408,6 +428,9 @@ func (v *Vault) Close() error {
 	v.keys.Purge()
 	v.bcache.purge()
 	v.neg.purge()
+	if v.fsink != nil {
+		v.fsink.Close() // best-effort; flight loss never fails a Close
+	}
 	if v.dir != "" {
 		if err := v.writeSnapshotLocked(); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -46,7 +47,7 @@ type Report struct {
 // list mid-verification — so the size/leaf accounting it checks can never
 // be a benign in-flight transient.
 func (v *Vault) VerifyAll(rememberedHeads []merkle.SignedTreeHead, rememberedCheckpoints []audit.Checkpoint) (_ Report, err error) {
-	defer v.observeOp("verify_all", time.Now())(&err)
+	defer v.observeOp(context.Background(), "verify_all", "", time.Now())(&err)
 	var rep Report
 	if err := v.gate.beginExclusive(); err != nil {
 		return rep, err

@@ -30,6 +30,7 @@
 //	GET    /patients/{mrn}/disclosures   HIPAA accounting of disclosures
 //	GET    /records/{id}/versions/{n}/proof  third-party-verifiable commitment proof
 //	GET    /debug/traces                 retained request traces (op=, min=, limit=)
+//	GET    /debug/flight                 live flight-recorder ring (op=, trace=, record=, limit=)
 //
 // Every vault route runs under a request trace: the middleware honors a
 // well-formed X-Request-ID header (or mints an ID), threads the trace
@@ -67,10 +68,13 @@ const requestIDHeader = "X-Request-ID"
 
 // Server serves a vault over HTTP.
 type Server struct {
-	vault  core.API
-	mux    *http.ServeMux
-	tracer *obs.Tracer
-	logger *slog.Logger // nil disables request logging
+	vault     core.API
+	mux       *http.ServeMux
+	tracer    *obs.Tracer
+	flight    *obs.Flight
+	watchdog  *obs.Watchdog       // nil: /healthz omits anomaly detail
+	panicHook func(reason string) // nil: panics only answer 500 + flight event
+	logger    *slog.Logger        // nil disables request logging
 }
 
 // Option configures a Server.
@@ -89,9 +93,30 @@ func WithTracer(t *obs.Tracer) Option {
 	return func(s *Server) { s.tracer = t }
 }
 
+// WithFlight overrides the flight recorder /debug/flight serves (tests use
+// private rings; medvaultd and the default share obs.DefaultFlight).
+func WithFlight(f *obs.Flight) Option {
+	return func(s *Server) { s.flight = f }
+}
+
+// WithWatchdog attaches the anomaly watchdog: /healthz gains a detail list
+// of currently active anomaly streaks, so a degraded-but-serving node
+// explains itself to the probe rather than just flipping to 503 later.
+func WithWatchdog(w *obs.Watchdog) Option {
+	return func(s *Server) { s.watchdog = w }
+}
+
+// WithPanicHook installs a callback fired (once per panic) after a request
+// handler panics, in addition to the 500 response and flight event the
+// middleware always produces. medvaultd uses it to write a postmortem
+// bundle before the process decides whether it can keep serving.
+func WithPanicHook(fn func(reason string)) Option {
+	return func(s *Server) { s.panicHook = fn }
+}
+
 // New builds a Server around v.
 func New(v core.API, opts ...Option) *Server {
-	s := &Server{vault: v, mux: http.NewServeMux(), tracer: obs.DefaultTracer}
+	s := &Server{vault: v, mux: http.NewServeMux(), tracer: obs.DefaultTracer, flight: obs.DefaultFlight}
 	for _, o := range opts {
 		o(s)
 	}
@@ -116,18 +141,28 @@ func New(v core.API, opts ...Option) *Server {
 	s.mux.HandleFunc("DELETE /records/{id}/hold", s.handleReleaseHold)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/traces", TraceHandler(s.tracer))
+	s.mux.Handle("GET /debug/flight", FlightHandler(s.flight))
 	return s
 }
 
-// statusWriter captures the response status for the metrics middleware.
+// statusWriter captures the response status for the metrics middleware, and
+// whether anything was written — the panic barrier can only substitute a 500
+// body when the handler died before producing output.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // ServeHTTP implements http.Handler. Every request — matched or not — is
@@ -155,14 +190,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		ctx, tr := s.tracer.Start(r.Context(), route, r.Header.Get(requestIDHeader))
 		traceID = tr.ID
 		w.Header().Set(requestIDHeader, tr.ID)
-		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		s.serve(sw, r.WithContext(ctx), route, tr.ID)
 		var err error
 		if sw.status >= 400 {
 			err = fmt.Errorf("HTTP %d", sw.status)
 		}
 		s.tracer.Finish(tr, err)
 	} else {
-		s.mux.ServeHTTP(sw, r)
+		s.serve(sw, r, route, "")
 	}
 	obs.Default.Counter("medvault_http_requests_total",
 		"HTTP requests by route pattern and status class.",
@@ -178,6 +213,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			"duration_ms", float64(time.Since(start).Microseconds())/1000,
 			"trace", traceID)
 	}
+}
+
+// serve dispatches to the mux behind a panic barrier. One bad request must
+// not take a node holding patient records off the air, but the panic must
+// also never vanish: the barrier answers 500 (when the handler died before
+// writing anything), counts the panic, drops an "http.panic" event into the
+// flight recorder, and fires the panic hook so medvaultd can write a
+// postmortem bundle. http.ErrAbortHandler is re-raised — it is net/http's
+// sanctioned way to abort a connection, not a bug.
+func (s *Server) serve(sw *statusWriter, r *http.Request, route, traceID string) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler { //nolint:errorlint // sentinel compared by identity, per net/http docs
+			panic(rec)
+		}
+		reason := fmt.Sprintf("panic in %s: %v", route, rec)
+		sw.status = http.StatusInternalServerError
+		s.flight.Record(obs.FlightEvent{
+			Kind: "http.panic", Trace: traceID, Outcome: "panic", Detail: reason,
+		})
+		obs.Default.Counter("medvault_http_panics_total",
+			"Request handler panics recovered by the middleware.",
+			obs.L("route", route)).Inc()
+		if !sw.wrote {
+			writeJSON(sw, http.StatusInternalServerError, errorBody{Error: "internal error"})
+		}
+		if s.panicHook != nil {
+			s.panicHook(reason)
+		}
+	}()
+	s.mux.ServeHTTP(sw, r)
 }
 
 // traced reports whether a route runs under a trace. Observability and
@@ -339,7 +408,17 @@ type healthPayload struct {
 	WALQueueDepth int                  `json:"wal_queue_depth"`
 	InFlightOps   int                  `json:"in_flight_ops"`
 	LastRecovery  recoveryPayload      `json:"last_recovery"`
-	Shards        []shardHealthPayload `json:"shards,omitempty"` // >1-shard clusters only
+	Shards        []shardHealthPayload `json:"shards,omitempty"`    // >1-shard clusters only
+	Anomalies     []anomalyPayload     `json:"anomalies,omitempty"` // watchdog-attached nodes only
+}
+
+// anomalyPayload is one active watchdog finding surfaced on /healthz, so a
+// probe (or a human curling the endpoint) sees why a node is degraded
+// without shelling in. Detail is PHI-free by the watchdog's contract.
+type anomalyPayload struct {
+	Kind   string    `json:"kind"`
+	Detail string    `json:"detail"`
+	Since  time.Time `json:"since"`
 }
 
 // shardHealthPayload is one shard's slice of the merged health report, so
@@ -376,6 +455,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	case h.WALWedged:
 		status, state = http.StatusServiceUnavailable, "wal-wedged"
 	}
+	var anomalies []anomalyPayload
+	if s.watchdog != nil {
+		for _, a := range s.watchdog.Anomalies() {
+			anomalies = append(anomalies, anomalyPayload{Kind: a.Kind, Detail: a.Detail, Since: a.Since})
+		}
+		// Active anomalies on an otherwise-healthy node degrade the status
+		// string but keep the 200: the node is still serving, and flapping
+		// it out of the load balancer over a transient stall would turn a
+		// slow node into an unavailable one.
+		if state == "ok" && len(anomalies) > 0 {
+			state = "degraded"
+		}
+	}
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", retryAfterSeconds)
 	}
@@ -394,6 +486,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			WALEntries:     h.LastRecovery.WALEntries,
 			RecordsLive:    h.LastRecovery.RecordsLive,
 		},
+		Anomalies: anomalies,
 	}
 	if sh, ok := s.vault.(shardHealther); ok && sh.NumShards() > 1 {
 		for i, hs := range sh.ShardHealths() {

@@ -49,13 +49,39 @@ type attrPayload struct {
 
 // tracesBody is the /debug/traces response envelope: the tracer's lifetime
 // counters first, so an operator can tell "no traces matched" apart from
-// "tracing is sampling everything out".
+// "tracing is sampling everything out". Exemplars map each latency
+// histogram family to the trace ID of its worst observation since the last
+// metrics scrape — the bridge from "this histogram's tail got ugly" to the
+// exact trace (and, via the audit log, request) that put it there.
 type tracesBody struct {
-	Started    uint64         `json:"traces_started"`
-	Finished   uint64         `json:"traces_finished"`
-	SampledOut uint64         `json:"traces_sampled_out"`
-	Count      int            `json:"count"`
-	Traces     []tracePayload `json:"traces"`
+	Started    uint64            `json:"traces_started"`
+	Finished   uint64            `json:"traces_finished"`
+	SampledOut uint64            `json:"traces_sampled_out"`
+	Count      int               `json:"count"`
+	Exemplars  []exemplarPayload `json:"exemplars,omitempty"`
+	Traces     []tracePayload    `json:"traces"`
+}
+
+// exemplarPayload is one histogram family's slowest-observation exemplar.
+type exemplarPayload struct {
+	Family  string  `json:"family"`
+	Trace   string  `json:"trace"`
+	Seconds float64 `json:"seconds"`
+}
+
+// exemplarsFromRegistry peeks (without resetting — /metrics owns the reset)
+// every histogram family's retained exemplar.
+func exemplarsFromRegistry(r *obs.Registry) []exemplarPayload {
+	var out []exemplarPayload
+	for _, f := range r.Snapshot() {
+		if f.Exemplar == nil {
+			continue
+		}
+		out = append(out, exemplarPayload{
+			Family: f.Name, Trace: f.Exemplar.Trace, Seconds: f.Exemplar.Value,
+		})
+	}
+	return out
 }
 
 // TraceHandler serves t's retained traces as JSON. It is exported so
@@ -94,7 +120,7 @@ func TraceHandler(t *obs.Tracer) http.Handler {
 		started, finished, sampledOut := t.Stats()
 		writeJSON(w, http.StatusOK, tracesBody{
 			Started: started, Finished: finished, SampledOut: sampledOut,
-			Count: len(out), Traces: out,
+			Count: len(out), Exemplars: exemplarsFromRegistry(obs.Default), Traces: out,
 		})
 	})
 }

@@ -1,0 +1,423 @@
+package obs
+
+// The flight recorder is the vault's black box: an always-on, bounded ring
+// of structured, PHI-free events (op kind, hashed record ID, trace ID,
+// latency, outcome, fs/WAL/replication markers) that is also streamed
+// through the faultfs seam into CRC-framed segments under <dir>/flight/.
+// After a power cut the persisted tail is decodable offline — the segments
+// reuse the WAL's frame codec (internal/frame) and its tail rule: a torn
+// final frame is discarded, never skipped over.
+//
+// PHI freedom is by construction, like /metrics and /debug/traces: record
+// IDs are stored as truncated keyed hashes (HashRecordID), event kinds and
+// outcomes are fixed mechanism labels, and no field ever carries a record
+// body, MRN, patient name, or search keyword. That is what makes it safe
+// to write segments in plaintext next to the ciphertext they describe, and
+// to serve the ring on an unauthenticated debug endpoint.
+//
+// Durability piggybacks on the WAL's: events for acknowledged writes are
+// recorded after the WAL group commit's fsync returns, and segment writes
+// are never fsynced on their own. Under the crash model (faultfs.Mem, ext4
+// ordered mode) a file's unsynced tail survives only as a prefix, so any
+// persisted acked-write event implies its WAL entry was already durable —
+// the persisted flight tail can claim nothing recovery will not replay.
+// The torture harness checks exactly that invariant after every simulated
+// power cut.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"medvault/internal/faultfs"
+	"medvault/internal/frame"
+)
+
+// FlightEvent is one entry in the flight recorder. All string fields are
+// PHI-free by construction (see the package comment above).
+type FlightEvent struct {
+	Seq     uint64        // assigned by the ring, monotonic per Flight
+	Time    time.Time     // assigned by the ring when zero
+	Kind    string        // op or marker: "put", "get", "wal.wedge", "watchdog", "repl.apply", ...
+	Record  string        // HashRecordID of the record involved, or ""
+	Trace   string        // originating trace ID, or ""
+	Outcome string        // "ok", "denied", "error", ... ("" for markers)
+	Dur     time.Duration // op latency (0 for markers)
+	Shard   string        // shard label, or ""
+	Detail  string        // short PHI-free detail (anomaly kind, error class)
+}
+
+// HashRecordID maps a record ID to the stable 12-hex-digit token flight
+// events carry. The domain separator keeps the token from doubling as a
+// generic hash of the ID usable outside the flight recorder; resolving a
+// token back to a record requires the (authorized) vault itself.
+func HashRecordID(id string) string {
+	if id == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte("medvault-flight:" + id))
+	return hex.EncodeToString(sum[:6])
+}
+
+// DefaultFlightCapacity is the ring size of DefaultFlight: enough tail to
+// reconstruct the seconds before a crash without unbounded memory.
+const DefaultFlightCapacity = 4096
+
+// Flight is a bounded ring of FlightEvents, safe for concurrent use.
+type Flight struct {
+	mu  sync.Mutex
+	buf []FlightEvent
+	n   int // next write position
+	len int
+	seq uint64
+}
+
+// NewFlight returns a ring retaining the last capacity events.
+func NewFlight(capacity int) *Flight {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Flight{buf: make([]FlightEvent, capacity)}
+}
+
+// DefaultFlight is the process-wide recorder, mirroring Default and
+// DefaultTracer: every layer records into it unless wired otherwise.
+var DefaultFlight = NewFlight(DefaultFlightCapacity)
+
+// Record stores ev, assigning its sequence number (and timestamp, when
+// zero), and returns the completed event so callers can persist the same
+// bytes through a FlightSink.
+func (f *Flight) Record(ev FlightEvent) FlightEvent {
+	f.mu.Lock()
+	f.seq++
+	ev.Seq = f.seq
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	f.buf[f.n] = ev
+	f.n = (f.n + 1) % len(f.buf)
+	if f.len < len(f.buf) {
+		f.len++
+	}
+	f.mu.Unlock()
+	return ev
+}
+
+// FlightFilter selects events from a ring snapshot. Zero values match
+// everything; Kind matches as a case-folded substring (like TraceFilter.Op),
+// Trace and Record match exactly. Limit caps the result (0 = all retained).
+type FlightFilter struct {
+	Kind   string
+	Trace  string
+	Record string
+	Limit  int
+}
+
+func (fl FlightFilter) match(ev FlightEvent) bool {
+	if fl.Kind != "" && !strings.Contains(strings.ToLower(ev.Kind), strings.ToLower(fl.Kind)) {
+		return false
+	}
+	if fl.Trace != "" && ev.Trace != fl.Trace {
+		return false
+	}
+	if fl.Record != "" && ev.Record != fl.Record {
+		return false
+	}
+	return true
+}
+
+// Snapshot returns the retained events matching fl, newest first.
+func (f *Flight) Snapshot(fl FlightFilter) []FlightEvent {
+	f.mu.Lock()
+	all := make([]FlightEvent, 0, f.len)
+	for i := 0; i < f.len; i++ {
+		// Walk backwards from the most recently written slot.
+		all = append(all, f.buf[((f.n-1-i)%len(f.buf)+len(f.buf))%len(f.buf)])
+	}
+	f.mu.Unlock()
+	out := all[:0]
+	for _, ev := range all {
+		if !fl.match(ev) {
+			continue
+		}
+		out = append(out, ev)
+		if fl.Limit > 0 && len(out) >= fl.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns how many events the ring currently retains.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.len
+}
+
+// --- binary event codec ----------------------------------------------------
+
+// flightEventV1 is the event encoding version byte. Fields after it:
+// u64 seq | u64 unixnano | u64 durNanos | 6 × (u16 len + bytes) for
+// kind, record, trace, outcome, shard, detail.
+const flightEventV1 = 1
+
+// flightMaxStr caps each string field on encode AND decode: encode truncates,
+// decode rejects — a frame whose CRC validates but whose lengths are absurd
+// is corruption the CRC missed, not a real event.
+const flightMaxStr = 512
+
+func encodeFlightEvent(ev FlightEvent) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, flightEventV1)
+	b = binary.BigEndian.AppendUint64(b, ev.Seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(ev.Time.UnixNano()))
+	b = binary.BigEndian.AppendUint64(b, uint64(ev.Dur))
+	for _, s := range []string{ev.Kind, ev.Record, ev.Trace, ev.Outcome, ev.Shard, ev.Detail} {
+		if len(s) > flightMaxStr {
+			s = s[:flightMaxStr]
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+		b = append(b, s...)
+	}
+	return b
+}
+
+// decodeFlightEvent parses one encoded event. It is total: any input either
+// yields an event or ok=false, never a panic — FuzzFlightSegment holds it to
+// that.
+func decodeFlightEvent(b []byte) (FlightEvent, bool) {
+	if len(b) < 1+8+8+8 || b[0] != flightEventV1 {
+		return FlightEvent{}, false
+	}
+	ev := FlightEvent{
+		Seq:  binary.BigEndian.Uint64(b[1:9]),
+		Time: time.Unix(0, int64(binary.BigEndian.Uint64(b[9:17]))),
+		Dur:  time.Duration(binary.BigEndian.Uint64(b[17:25])),
+	}
+	rest := b[25:]
+	fields := make([]string, 6)
+	for i := range fields {
+		if len(rest) < 2 {
+			return FlightEvent{}, false
+		}
+		n := int(binary.BigEndian.Uint16(rest[:2]))
+		rest = rest[2:]
+		if n > flightMaxStr || n > len(rest) {
+			return FlightEvent{}, false
+		}
+		fields[i] = string(rest[:n])
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return FlightEvent{}, false
+	}
+	ev.Kind, ev.Record, ev.Trace, ev.Outcome, ev.Shard, ev.Detail =
+		fields[0], fields[1], fields[2], fields[3], fields[4], fields[5]
+	return ev, true
+}
+
+// --- persistent segments ---------------------------------------------------
+
+const (
+	flightSegPrefix = "flight-"
+	flightSegSuffix = ".seg"
+	// flightKeepSegments bounds the on-disk footprint: opening a sink prunes
+	// the oldest segments beyond this count.
+	flightKeepSegments = 8
+)
+
+// POSIX open flags, mirrored so obs does not import os for three constants
+// (same convention as faultfs and repl).
+const (
+	osWronly = 0x1
+	osCreate = 0x40
+	osTrunc  = 0x200
+	osAppend = 0x400
+)
+
+// FlightSink persists events as CRC-framed segments under dir through the
+// faultfs seam. Every Open starts a fresh numbered segment, so the tail of
+// the highest-numbered segment is always the final moments of one boot.
+//
+// The sink is strictly best-effort: the first write failure latches it off
+// and is reported via Err — observability must never fail the operation it
+// observes. Writes are not fsynced; see the package comment for why the
+// persisted tail still cannot overclaim acknowledged writes.
+type FlightSink struct {
+	mu   sync.Mutex
+	fs   faultfs.FS
+	dir  string
+	f    faultfs.File
+	size int64
+	err  error
+}
+
+func flightSegName(n uint64) string {
+	return fmt.Sprintf("%s%08d%s", flightSegPrefix, n, flightSegSuffix)
+}
+
+// flightSegNum parses a segment file name; ok is false for foreign files.
+func flightSegNum(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, flightSegPrefix) || !strings.HasSuffix(name, flightSegSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(flightSegPrefix):len(name)-len(flightSegSuffix)], 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listFlightSegments returns the segment numbers under dir, ascending. A
+// missing dir is an empty list.
+func listFlightSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if _, statErr := fsys.Stat(dir); statErr != nil {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var nums []uint64
+	for _, e := range ents {
+		if n, ok := flightSegNum(e.Name()); ok && !e.IsDir() {
+			nums = append(nums, n)
+		}
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	return nums, nil
+}
+
+// OpenFlightSink creates dir if needed, prunes old segments down to the
+// retention bound, and opens the next numbered segment for appending.
+func OpenFlightSink(fsys faultfs.FS, dir string) (*FlightSink, error) {
+	if err := fsys.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("obs: creating flight dir %s: %w", dir, err)
+	}
+	nums, err := listFlightSegments(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listing flight dir %s: %w", dir, err)
+	}
+	next := uint64(1)
+	if len(nums) > 0 {
+		next = nums[len(nums)-1] + 1
+	}
+	for len(nums) >= flightKeepSegments {
+		// Prune failures are non-fatal: a leftover segment wastes bytes, it
+		// does not corrupt anything.
+		_ = fsys.Remove(path.Join(dir, flightSegName(nums[0])))
+		nums = nums[1:]
+	}
+	f, err := fsys.OpenFile(path.Join(dir, flightSegName(next)), osWronly|osCreate|osAppend, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening flight segment: %w", err)
+	}
+	return &FlightSink{fs: fsys, dir: dir, f: f}, nil
+}
+
+// Append frames and writes one event. Failures latch the sink off silently;
+// the caller's operation must not care.
+func (s *FlightSink) Append(ev FlightEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.f == nil {
+		return
+	}
+	buf := frame.Append(nil, ev.Seq, encodeFlightEvent(ev))
+	if _, err := s.f.Write(buf); err != nil {
+		s.err = err
+		return
+	}
+	s.size += int64(len(buf))
+}
+
+// Err returns the latched failure that disabled the sink, if any.
+func (s *FlightSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Sync forces the current segment to stable storage — postmortem writers
+// call it so the bundle's flight tail survives the imminent exit.
+func (s *FlightSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.f == nil {
+		return s.err
+	}
+	return s.f.Sync()
+}
+
+// Close closes the segment file; further Appends are dropped.
+func (s *FlightSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	if s.err == nil {
+		s.err = fmt.Errorf("obs: flight sink closed")
+	}
+	return err
+}
+
+// --- offline decoding ------------------------------------------------------
+
+// DecodeFlightSegment decodes events from one segment's raw bytes, stopping
+// at the first torn or corrupt frame (the shared WAL-tail rule). tail is the
+// count of trailing bytes that did not decode — 0 means the segment was
+// consumed exactly. The decoder is total over arbitrary input: it never
+// panics, whatever the bytes.
+func DecodeFlightSegment(data []byte) (evs []FlightEvent, tail int) {
+	off := 0
+	for off < len(data) {
+		seq, body, n, ok := frame.Decode(data[off:])
+		if !ok {
+			break
+		}
+		ev, ok := decodeFlightEvent(body)
+		if !ok || ev.Seq != seq {
+			break
+		}
+		evs = append(evs, ev)
+		off += n
+	}
+	return evs, len(data) - off
+}
+
+// ReadFlightDir decodes every segment under dir, oldest segment first,
+// tolerating a torn tail in each (a crash can tear the last frame of the
+// final segment; earlier segments were closed whole, but the rule is applied
+// uniformly). A missing dir yields no events and no error.
+func ReadFlightDir(fsys faultfs.FS, dir string) ([]FlightEvent, error) {
+	nums, err := listFlightSegments(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []FlightEvent
+	for _, n := range nums {
+		data, err := fsys.ReadFile(path.Join(dir, flightSegName(n)))
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue // raced with pruning
+			}
+			return nil, err
+		}
+		evs, _ := DecodeFlightSegment(data)
+		out = append(out, evs...)
+	}
+	return out, nil
+}

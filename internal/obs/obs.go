@@ -85,6 +85,59 @@ type Histogram struct {
 	buckets []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	ex      *exemplarSlot // family-shared worst-observation exemplar; may be nil
+}
+
+// Exemplar links a histogram family to the trace behind its worst
+// observation since the exemplar was last taken (i.e. since the last
+// /metrics scrape) — the "which request was that spike" pointer.
+type Exemplar struct {
+	Trace string
+	Value float64
+}
+
+// exemplarSlot is the family-level slot ObserveExemplar competes for. A
+// plain mutex is fine: it is only touched on the exemplar path, and only
+// contended when observations race the scrape.
+type exemplarSlot struct {
+	mu    sync.Mutex
+	trace string
+	val   float64
+	set   bool
+}
+
+func (e *exemplarSlot) observe(v float64, trace string) {
+	if e == nil || trace == "" {
+		return
+	}
+	e.mu.Lock()
+	if !e.set || v > e.val {
+		e.trace, e.val, e.set = trace, v, true
+	}
+	e.mu.Unlock()
+}
+
+// peek reads without resetting (debug surfaces).
+func (e *exemplarSlot) peek() (Exemplar, bool) {
+	if e == nil {
+		return Exemplar{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Exemplar{Trace: e.trace, Value: e.val}, e.set
+}
+
+// take reads and resets — the scrape semantics: each /metrics scrape sees
+// the worst observation since the previous one.
+func (e *exemplarSlot) take() (Exemplar, bool) {
+	if e == nil {
+		return Exemplar{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ex, ok := Exemplar{Trace: e.trace, Value: e.val}, e.set
+	e.trace, e.val, e.set = "", 0, false
+	return ex, ok
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -110,6 +163,16 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveSince records the seconds elapsed since start.
 func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// ObserveExemplar records v like Observe and, when traceID is non-empty,
+// offers it as the family's exemplar: the trace ID of the worst observation
+// since the last scrape is retained and surfaced on /metrics and
+// /debug/traces. Latency-histogram call sites that have a trace in hand use
+// this instead of Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.Observe(v)
+	h.ex.observe(v, traceID)
+}
 
 // Snapshot returns a consistent-enough copy for reporting. Individual fields
 // are loaded atomically; a snapshot taken during concurrent observation may
@@ -230,7 +293,8 @@ type family struct {
 	name   string
 	help   string
 	kind   kind
-	bounds []float64 // histogram families only
+	bounds []float64     // histogram families only
+	ex     *exemplarSlot // histogram families only; shared by every series
 
 	mu     sync.RWMutex
 	series map[string]*series // by label signature
@@ -260,6 +324,9 @@ func (r *Registry) family(name, help string, k kind, bounds []float64) *family {
 		f = r.fams[name]
 		if f == nil {
 			f = &family{name: name, help: help, kind: k, bounds: bounds, series: make(map[string]*series)}
+			if k == kindHistogram {
+				f.ex = &exemplarSlot{}
+			}
 			r.fams[name] = f
 		}
 		r.mu.Unlock()
@@ -310,6 +377,7 @@ func (f *family) get(labels []Label) *series {
 		s.g = &Gauge{}
 	case kindHistogram:
 		s.h = newHistogram(f.bounds)
+		s.h.ex = f.ex
 	}
 	f.series[sig] = s
 	return s
@@ -340,12 +408,15 @@ type SeriesSnapshot struct {
 	Hist   *HistSnapshot
 }
 
-// FamilySnapshot is a point-in-time copy of one metric family.
+// FamilySnapshot is a point-in-time copy of one metric family. Exemplar is
+// a non-resetting peek at the family's worst-since-last-scrape trace; only
+// the /metrics scrape itself (WritePrometheus) resets it.
 type FamilySnapshot struct {
-	Name   string
-	Help   string
-	Kind   string
-	Series []SeriesSnapshot
+	Name     string
+	Help     string
+	Kind     string
+	Series   []SeriesSnapshot
+	Exemplar *Exemplar
 }
 
 // MergedHist aggregates every series of a histogram family into one
@@ -384,6 +455,9 @@ func (r *Registry) Snapshot() []FamilySnapshot {
 	out := make([]FamilySnapshot, 0, len(fams))
 	for _, f := range fams {
 		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind.String()}
+		if ex, ok := f.ex.peek(); ok {
+			fs.Exemplar = &ex
+		}
 		f.mu.RLock()
 		sigs := make([]string, 0, len(f.series))
 		for sig := range f.series {

@@ -29,8 +29,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				return err
 			}
 		}
+		// Slow-op exemplar: the trace behind the family's worst observation
+		// since the previous scrape, as a comment line (the 0.0.4 text format
+		// has no native exemplar syntax). Taking it resets the slot, so each
+		// scrape reports the worst of its own interval.
+		if ex, ok := r.takeExemplar(f.Name); ok {
+			if _, err := fmt.Fprintf(w, "# exemplar %s trace_id=%q value=%s\n",
+				f.Name, ex.Trace, formatFloat(ex.Value)); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
+}
+
+// takeExemplar takes-and-resets the named family's exemplar slot.
+func (r *Registry) takeExemplar(name string) (Exemplar, bool) {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		return Exemplar{}, false
+	}
+	return f.ex.take()
 }
 
 func writeSeries(w io.Writer, f FamilySnapshot, s SeriesSnapshot) error {

@@ -201,8 +201,8 @@ func (t *Tracer) Finish(tr *Trace, err error) {
 	// metrics view reflects real traffic, not retention policy.
 	Default.Histogram("medvault_trace_seconds",
 		"End-to-end traced operation latency by op.", LatencyBuckets,
-		L("op", tr.Op)).Observe(tr.Dur.Seconds())
-	observeSpans(tr.Spans)
+		L("op", tr.Op)).ObserveExemplar(tr.Dur.Seconds(), tr.ID)
+	observeSpans(tr.Spans, tr.ID)
 
 	n := t.n.Add(1)
 	if !tr.Slow && t.cfg.SampleEvery > 1 && n%uint64(t.cfg.SampleEvery) != 0 {
@@ -253,13 +253,14 @@ func closeOpen(spans []*Span, end time.Time) {
 	}
 }
 
-// observeSpans feeds each span's duration into the shared registry.
-func observeSpans(spans []*Span) {
+// observeSpans feeds each span's duration into the shared registry,
+// offering the owning trace's ID as the slow-span exemplar.
+func observeSpans(spans []*Span, traceID string) {
 	for _, s := range spans {
 		Default.Histogram("medvault_span_seconds",
 			"Traced span latency by span name.", LatencyBuckets,
-			L("span", s.Name)).Observe(s.Dur.Seconds())
-		observeSpans(s.Children)
+			L("span", s.Name)).ObserveExemplar(s.Dur.Seconds(), traceID)
+		observeSpans(s.Children, traceID)
 	}
 }
 

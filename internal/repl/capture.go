@@ -314,6 +314,21 @@ func (c *Capture) mutate(apply func() error, rec OpRecord, shipIt bool) error {
 	return c.shipLocked(rec)
 }
 
+// ShipTrace implements core.TraceShipper: it forwards the originating trace
+// ID of a committed vault mutation as an opTraceMark frame, so the
+// follower's flight recorder can join its apply events back to the
+// primary's request. Pure observability: a ship failure here follows the
+// capture's normal failure mode but never fails a vault operation (the
+// caller ignores it by contract — the op already committed).
+func (c *Capture) ShipTrace(trace, op, recordHash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return
+	}
+	_ = c.shipLocked(OpRecord{Kind: opTraceMark, Path: recordHash, Old: trace, Data: []byte(op)})
+}
+
 // --- faultfs.FS ----------------------------------------------------------
 
 // OpenFile implements faultfs.FS. Opens that can change state ship to the

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"medvault/internal/faultfs"
+	"medvault/internal/obs"
 	"medvault/internal/wal"
 )
 
@@ -37,6 +38,7 @@ type Follower struct {
 
 	appliedLSN uint64
 	fenceAudit func(detail string)
+	flight     *obs.Flight // apply-side flight recorder (never nil)
 }
 
 // NewFollower prepares a follower over root on fsys, loading any persisted
@@ -51,6 +53,7 @@ func NewFollower(fsys faultfs.FS, root string) (*Follower, error) {
 		root:    root,
 		epoch:   epoch,
 		handles: make(map[string]faultfs.File),
+		flight:  obs.DefaultFlight,
 	}, nil
 }
 
@@ -283,6 +286,18 @@ func (f *Follower) applyLocked(rec OpRecord) error {
 	case opWriteFile:
 		f.closeHandleLocked(rec.Path)
 		return f.fsys.WriteFile(p, rec.Data, fs.FileMode(rec.Perm))
+	case opTraceMark:
+		// Observability marker, no fs effect: record the primary's trace ID
+		// against this replica so the apply is joinable to the originating
+		// request. Path is the hashed record ID, Old the trace, Data the op.
+		f.flight.Record(obs.FlightEvent{
+			Kind:    "repl.apply",
+			Record:  rec.Path,
+			Trace:   rec.Old,
+			Outcome: "ok",
+			Detail:  string(rec.Data),
+		})
+		return nil
 	default:
 		return fmt.Errorf("%w: op kind %d", ErrBadFrame, rec.Kind)
 	}
@@ -390,6 +405,8 @@ func opName(k uint8) string {
 		return "mkdirall"
 	case opWriteFile:
 		return "writefile"
+	case opTraceMark:
+		return "tracemark"
 	}
 	return "unknown"
 }

@@ -73,7 +73,11 @@ const (
 )
 
 // Captured filesystem op kinds — the mutating subset of faultfs.FS plus
-// handle writes and syncs.
+// handle writes and syncs. opTraceMark is the one non-fs kind: an
+// observability marker carrying the originating trace ID of a committed
+// vault mutation, so the primary's write is joinable to its apply event in
+// the follower's flight recorder. It has no filesystem effect and therefore
+// no bearing on dir digests or anti-entropy.
 const (
 	opOpen uint8 = iota + 1
 	opWrite
@@ -84,6 +88,7 @@ const (
 	opTruncate
 	opMkdirAll
 	opWriteFile
+	opTraceMark
 )
 
 // OpRecord is one captured filesystem operation. Path (and Old, for renames)
@@ -236,6 +241,12 @@ func encodeOp(rec OpRecord) []byte {
 	case opWriteFile:
 		b = appendU32(b, rec.Perm)
 		b = appendBytes(b, rec.Data)
+	case opTraceMark:
+		// Path carries the hashed record ID; Old the trace ID; Data the
+		// vault op name ("put", "correct", "shred"). All observability-plane
+		// values — no plaintext.
+		b = appendStr(b, rec.Old)
+		b = appendBytes(b, rec.Data)
 	}
 	return b
 }
@@ -258,6 +269,9 @@ func decodeOp(body []byte) (OpRecord, bool) {
 		rec.Perm = d.u32()
 	case opWriteFile:
 		rec.Perm = d.u32()
+		rec.Data = d.bytes()
+	case opTraceMark:
+		rec.Old = d.str()
 		rec.Data = d.bytes()
 	default:
 		return OpRecord{}, false

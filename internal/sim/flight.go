@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"medvault/internal/obs"
+)
+
+// checkFlightTail is the simulator's black-box invariant, evaluated on the
+// raw crash image after every power cut and before recovery remounts (which
+// would start fresh segments in the same directories): the persisted flight
+// tail must decode — torn final frames are expected crash damage, a decoder
+// error or panic is not — and must be plaintext-free. The sim is in a
+// uniquely strong position for the leak check: it knows every record ID it
+// ever minted and the whole patient population, so it can scan every string
+// field of every surviving event for all of them.
+func (e *engine) checkFlightTail(i int, s Step) *Divergence {
+	div := func(format string, args ...any) *Divergence {
+		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf(format, args...)}
+	}
+	leaks := append(e.model.allIDs(), mrnPool...)
+	dirs := []string{"vault/flight"}
+	for sh := 0; sh < e.shards; sh++ {
+		dirs = append(dirs, fmt.Sprintf("vault/shard-%d/flight", sh))
+	}
+	for _, d := range dirs {
+		evs, err := obs.ReadFlightDir(e.mem, d)
+		if err != nil {
+			return div("flight tail %s undecodable after power cut: %v", d, err)
+		}
+		for _, ev := range evs {
+			for _, field := range []string{ev.Kind, ev.Record, ev.Trace, ev.Outcome, ev.Shard, ev.Detail} {
+				for _, leak := range leaks {
+					if leak != "" && strings.Contains(field, leak) {
+						return div("flight event %d in %s leaks %q: %+v", ev.Seq, d, leak, ev)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -753,6 +753,9 @@ func (e *engine) crash(i int, s Step) *Divergence {
 	if d := e.cut(i, s); d != nil {
 		return d
 	}
+	if d := e.checkFlightTail(i, s); d != nil {
+		return d
+	}
 	if d := e.reopenAndResync(i, s); d != nil {
 		return d
 	}
@@ -763,6 +766,9 @@ func (e *engine) crash(i int, s Step) *Divergence {
 		return &Divergence{Index: i, Step: s, Msg: fmt.Sprintf("clean close: %v", err)}
 	}
 	if d := e.cut(i, s); d != nil {
+		return d
+	}
+	if d := e.checkFlightTail(i, s); d != nil {
 		return d
 	}
 	if d := e.reopenAndResync(i, s); d != nil {

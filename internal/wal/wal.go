@@ -16,10 +16,8 @@ package wal
 
 import (
 	"context"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"log/slog"
 	"os"
 	"path/filepath"
@@ -28,6 +26,7 @@ import (
 	"time"
 
 	"medvault/internal/faultfs"
+	"medvault/internal/frame"
 	"medvault/internal/obs"
 )
 
@@ -100,10 +99,10 @@ type Log struct {
 	flushing bool
 }
 
-// entry layout: u64 seq | u32 len | u32 crc32c(data) | data
-const entryOverhead = 8 + 4 + 4
-
-var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+// entry layout: u64 seq | u32 len | u32 crc32c(data) | data — the shared
+// codec in internal/frame, which the replication stream and the flight
+// recorder's segments reuse.
+const entryOverhead = frame.Overhead
 
 // Open opens (or creates) the WAL at path on the real filesystem, truncating
 // any torn tail. Recovered entries are replayed to fn in order before Open
@@ -245,6 +244,12 @@ func (l *Log) flushLoop() {
 			metWedged.Set(1)
 			slog.Error("wal wedged: write/fsync failed, refusing further appends",
 				"path", l.path, "err", err)
+			// Mark the black box too: if the process dies before anyone reads
+			// the log line, the persisted flight tail still shows the wedge.
+			obs.DefaultFlight.Record(obs.FlightEvent{
+				Kind: "wal.wedge", Outcome: "error",
+				Detail: "write/fsync failed; WAL refuses further appends",
+			})
 		} else {
 			l.size += int64(len(buf))
 		}
@@ -402,31 +407,15 @@ func (l *Log) Close() error {
 
 // appendEntry encodes one framed entry onto buf.
 func appendEntry(buf []byte, seq uint64, data []byte) []byte {
-	var hdr [entryOverhead]byte
-	binary.BigEndian.PutUint64(hdr[0:8], seq)
-	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(data)))
-	binary.BigEndian.PutUint32(hdr[12:16], crc32.Checksum(data, castagnoli))
-	buf = append(buf, hdr[:]...)
-	return append(buf, data...)
+	return frame.Append(buf, seq, data)
 }
 
 // decodeEntry parses one entry from the front of b. ok is false when the
 // bytes do not contain a complete valid entry (torn tail).
 func decodeEntry(b []byte) (Entry, int, bool) {
-	if len(b) < entryOverhead {
+	seq, data, n, ok := frame.Decode(b)
+	if !ok {
 		return Entry{}, 0, false
 	}
-	seq := binary.BigEndian.Uint64(b[0:8])
-	n := binary.BigEndian.Uint32(b[8:12])
-	crc := binary.BigEndian.Uint32(b[12:16])
-	if uint64(entryOverhead)+uint64(n) > uint64(len(b)) {
-		return Entry{}, 0, false
-	}
-	data := b[entryOverhead : entryOverhead+int(n)]
-	if crc32.Checksum(data, castagnoli) != crc {
-		return Entry{}, 0, false
-	}
-	out := make([]byte, n)
-	copy(out, data)
-	return Entry{Seq: seq, Data: out}, entryOverhead + int(n), true
+	return Entry{Seq: seq, Data: data}, n, true
 }

@@ -1,0 +1,100 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"testing"
+	"time"
+
+	"medvault/internal/faultfs"
+	"medvault/internal/obs"
+)
+
+// slowSyncFS wraps a filesystem so every File.Sync stalls — the induced
+// fsync-latency degradation the watchdog must notice.
+type slowSyncFS struct {
+	faultfs.FS
+	delay time.Duration
+}
+
+func (s slowSyncFS) OpenFile(name string, flag int, perm fs.FileMode) (faultfs.File, error) {
+	f, err := s.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+type slowSyncFile struct {
+	faultfs.File
+	delay time.Duration
+}
+
+func (f slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+// TestWatchdogDetectsInducedWedgeAndStall is the end-to-end regression the
+// flight-recorder issue demands: wedge a real WAL through fault injection
+// and stall a real fsync, and the watchdog — reading only the process-wide
+// metrics registry — must report both, and the wedge must land in the
+// flight recorder.
+func TestWatchdogDetectsInducedWedgeAndStall(t *testing.T) {
+	// The WAL's metrics live on obs.Default, so the watchdog watches that.
+	w := obs.NewWatchdog(obs.WatchdogConfig{
+		Interval:   time.Hour, // driven manually
+		FsyncStall: 5 * time.Millisecond,
+	})
+
+	// Induced fsync stall: a 15ms sync lands in a histogram bucket whose
+	// lower edge is above the 5ms threshold.
+	slow := slowSyncFS{FS: faultfs.NewMem(), delay: 15 * time.Millisecond}
+	sl, err := OpenFS(slow, "w/wal.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sl.Append([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	anoms := w.Tick()
+	foundStall := false
+	for _, a := range anoms {
+		if a.Kind == "fsync_stall" {
+			foundStall = true
+		}
+	}
+	if !foundStall {
+		t.Fatalf("induced fsync stall not detected: %+v", anoms)
+	}
+	sl.Close()
+
+	// Induced wedge: the second sync fails, the log wedges, the wedge gauge
+	// latches, and the watchdog reports it.
+	boom := errors.New("disk on fire")
+	faulty := faultfs.NewFaulty(faultfs.NewMem(), faultfs.FailNthSync(1, boom))
+	l, err := OpenFS(faulty, "v/wal.log", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("doomed")); err == nil || !errors.Is(err, ErrWedged) {
+		t.Fatalf("append did not wedge: %v", err)
+	}
+	anoms = w.Tick()
+	foundWedge := false
+	for _, a := range anoms {
+		if a.Kind == "wal_wedge" {
+			foundWedge = true
+		}
+	}
+	if !foundWedge {
+		t.Fatalf("induced WAL wedge not detected: %+v", anoms)
+	}
+	if evs := obs.DefaultFlight.Snapshot(obs.FlightFilter{Kind: "wal.wedge", Limit: 1}); len(evs) == 0 {
+		t.Fatal("wedge did not record a flight event")
+	}
+	l.Close()
+}
